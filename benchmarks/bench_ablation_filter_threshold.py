@@ -1,0 +1,52 @@
+"""A2 — ablation: the 360-second self-shutdown filter threshold.
+
+The paper cut the reboot-duration distribution at 360 s after observing
+that the short lobe approaches zero there.  This bench sweeps the
+threshold and scores each setting against the simulator's ground truth
+(which shutdowns really were kernel-initiated) — exactly the validation
+the paper could not do on real phones.
+"""
+
+from repro.analysis.tables import render_table
+
+THRESHOLDS = [60.0, 120.0, 240.0, 360.0, 600.0, 1800.0, 28800.0]
+
+
+def test_ablation_filter_threshold(benchmark, campaign):
+    study = campaign.report.study
+    truth_self = campaign.ground_truth["self_shutdowns"]
+
+    def sweep():
+        return [
+            (threshold, len(study.self_shutdowns(threshold)))
+            for threshold in THRESHOLDS
+        ]
+
+    results = benchmark(sweep)
+
+    rows = [
+        (
+            f"{threshold:.0f}s",
+            count,
+            f"{count - truth_self:+.0f}",
+        )
+        for threshold, count in results
+    ]
+    print()
+    print(
+        "Ablation: self-shutdown filter threshold "
+        f"(ground truth: {truth_self:.0f} kernel-initiated shutdowns)\n"
+        + render_table(("Threshold", "Classified self", "Error vs truth"), rows)
+    )
+    benchmark.extra_info["results"] = rows
+
+    counts = dict(results)
+    # The paper's 360 s sits on the plateau between the two lobes: small
+    # shifts of the threshold barely change the classification, while a
+    # very low or very high threshold misclassifies heavily.
+    plateau = abs(counts[600.0] - counts[240.0])
+    assert plateau < 0.1 * counts[360.0]
+    assert counts[60.0] < 0.8 * counts[360.0]
+    assert counts[28800.0] > 1.2 * counts[360.0]
+    # And 360 s recovers the ground truth within a modest error.
+    assert abs(counts[360.0] - truth_self) / truth_self < 0.25

@@ -1,0 +1,104 @@
+"""EXT — the §7 future-work extension: output-failure capture.
+
+The paper's conclusion: "Future effort will focus on ... enhancing the
+logging mechanism to enable capturing output failures (this may require
+involvement of users)."  This bench measures the implemented extension:
+
+* how many user reports the campaign collects, and the implied (lower
+  bound) output-failure interval;
+* footnote 5's hypothesis — user-visible output failures correlate with
+  *panics* far above chance;
+* a compliance sweep: how fast the captured rate collapses as users get
+  lazier — quantifying the unreliable-user problem that made the paper
+  defer this feature.
+"""
+
+from repro.analysis.output_failures import compute_output_failures
+from repro.analysis.tables import render_table
+from repro.core.clock import MONTH
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import CampaignConfig
+from repro.phone.fleet import FleetConfig
+
+COMPLIANCE_LEVELS = [1.0, 0.5, 0.2, 0.05]
+
+
+def test_ext_output_failure_reports(benchmark, campaign):
+    stats = benchmark(compute_output_failures, campaign.dataset)
+
+    truth = campaign.ground_truth
+    print()
+    print("Output-failure extension (default per-user compliance):")
+    print(f"  user reports collected:        {stats.report_count}")
+    print(f"  visible misbehaviors (truth):  {truth['misbehaviors_perceived']:.0f}")
+    print(
+        "  capture fraction:              "
+        f"{stats.report_count / max(truth['misbehaviors_perceived'], 1):.2f}"
+    )
+    print(
+        f"  reported-failure interval:     {stats.report_interval_days:.0f} days "
+        "(lower bound on the true output-failure rate)"
+    )
+    print(
+        f"  reports with a panic in +-5min: {100 * stats.panic_correlated_fraction:.1f}% "
+        f"(chance: {100 * stats.chance_fraction:.3f}%, "
+        f"lift {stats.correlation_lift:.0f}x)"
+    )
+    benchmark.extra_info["reports"] = stats.report_count
+    benchmark.extra_info["lift"] = round(stats.correlation_lift, 1)
+
+    # Reports are a strict lower bound on the ground truth...
+    assert stats.report_count <= truth["misbehaviors_perceived"]
+    # ...and footnote 5 holds: panic correlation far above chance.
+    assert stats.correlation_lift > 10.0
+
+
+def test_ext_compliance_sweep(benchmark):
+    """How report capture degrades with user laziness (small campaign)."""
+
+    def sweep():
+        out = []
+        for compliance in COMPLIANCE_LEVELS:
+            fleet = FleetConfig(
+                phone_count=8,
+                duration=6 * MONTH,
+                enroll_fraction_min=0.0,
+                enroll_fraction_max=0.1,
+                report_compliance_override=compliance,
+            )
+            result = run_campaign(CampaignConfig(fleet=fleet, seed=77))
+            stats = compute_output_failures(result.dataset)
+            truth = result.ground_truth
+            out.append(
+                (
+                    compliance,
+                    stats.report_count,
+                    truth["misbehaviors_perceived"],
+                )
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            f"{compliance:.2f}",
+            reports,
+            f"{misbehaviors:.0f}",
+            f"{reports / max(misbehaviors, 1):.2f}",
+        )
+        for compliance, reports, misbehaviors in results
+    ]
+    print()
+    print(
+        "Compliance sweep (8 phones, 6 months)\n"
+        + render_table(
+            ("Compliance", "Reports", "Visible misbehaviors", "Capture"), rows
+        )
+    )
+    benchmark.extra_info["results"] = rows
+
+    counts = [reports for _c, reports, _m in results]
+    # Capture degrades monotonically with compliance.
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] > 3 * max(counts[-1], 1)

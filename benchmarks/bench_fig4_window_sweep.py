@@ -1,0 +1,60 @@
+"""F4 — Figure 4: the coalescence scheme and its window sensitivity.
+
+Regenerates: the number of coalesced panic/HL pairs as a function of
+the temporal window.  The paper picked five minutes because the count
+grows up to ~5 min (real correlation) and only grows again for windows
+of the order of hours (chance collisions).
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.coalescence import hl_events_from_study, window_sweep
+from repro.analysis.tables import render_table
+from repro.core.clock import HOUR, MINUTE
+from repro.experiments.compare import Comparison
+
+WINDOWS = [
+    30.0,
+    MINUTE,
+    2 * MINUTE,
+    5 * MINUTE,
+    10 * MINUTE,
+    30 * MINUTE,
+    2 * HOUR,
+    8 * HOUR,
+]
+
+
+def test_fig4_window_sweep(benchmark, campaign):
+    hl_events = hl_events_from_study(campaign.report.study)
+
+    sweep = benchmark(window_sweep, campaign.dataset, hl_events, WINDOWS)
+
+    rows = [(f"{int(window)}s", count) for window, count in sweep]
+    print()
+    print(
+        "Figure 4: coalesced panics vs window size\n"
+        + render_table(("Window", "Coalesced panics"), rows)
+    )
+
+    counts = dict(sweep)
+    total = campaign.dataset.total_panics
+
+    # The knee: growth from 30 s to 5 min is substantial; growth from
+    # 5 min to 30 min is marginal; hour-scale windows pick up chance
+    # collisions again.
+    growth_to_knee = counts[5 * MINUTE] - counts[30.0]
+    growth_past_knee = counts[30 * MINUTE] - counts[5 * MINUTE]
+    growth_chance = counts[8 * HOUR] - counts[30 * MINUTE]
+    assert growth_to_knee > 3 * max(growth_past_knee, 1)
+    assert growth_chance > growth_past_knee
+
+    comparison = Comparison("Figure 4 knee: paper vs measured")
+    comparison.add(
+        "% coalesced at the 5-minute window",
+        51.0,
+        100.0 * counts[5 * MINUTE] / total,
+        unit="%",
+    )
+    emit(benchmark, comparison)
+    assert comparison.all_within_factor(1.5)

@@ -1,0 +1,73 @@
+"""T1/S4 — Table 1 and the §4.1 forum-study statistics.
+
+Regenerates: failure type x recovery action distribution over 533
+classified reports, the type totals, the smart-phone share, and the
+activity-at-failure marginals.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.experiments import paper
+from repro.experiments.compare import Comparison
+from repro.forum import taxonomy as T
+from repro.forum.classifier import ReportClassifier
+from repro.forum.study import analyze_reports
+
+
+def test_table1_forum_study(benchmark, forum_posts):
+    def classify_and_aggregate():
+        classifier = ReportClassifier()
+        return analyze_reports(classifier.classify_all(forum_posts))
+
+    result = benchmark(classify_and_aggregate)
+
+    print()
+    print(result.render_table1())
+    print()
+    print(result.render_summary())
+
+    comparison = Comparison("Table 1 / Section 4.1: paper vs measured")
+    comparison.add(
+        "classified reports", paper.FORUM_REPORT_COUNT, result.report_count
+    )
+    for failure_type, target in paper.PAPER_TYPE_TOTALS.items():
+        comparison.add(
+            f"type share: {failure_type}",
+            target,
+            result.type_totals.get(failure_type, 0.0),
+            unit="%",
+        )
+    comparison.add(
+        "smart phone share",
+        paper.PAPER_SMART_PHONE_SHARE,
+        100 * result.smart_phone_share,
+        unit="%",
+    )
+    comparison.add(
+        "failures during voice calls",
+        paper.PAPER_FORUM_ACTIVITY[T.ACT_VOICE],
+        result.activity_totals.get(T.ACT_VOICE, 0.0),
+        unit="%",
+    )
+    comparison.add(
+        "failures during text messages",
+        paper.PAPER_FORUM_ACTIVITY[T.ACT_TEXT],
+        result.activity_totals.get(T.ACT_TEXT, 0.0),
+        unit="%",
+    )
+    # The paper's key Table 1 cells.
+    for failure_type, recovery, target in (
+        (T.FREEZE, T.BATTERY_REMOVAL, 9.01),
+        (T.OUTPUT_FAILURE, T.REBOOT, 8.80),
+        (T.OUTPUT_FAILURE, T.REPEAT, 5.79),
+        (T.FREEZE, T.WAIT, 4.29),
+    ):
+        comparison.add(
+            f"cell {failure_type}/{recovery}",
+            target,
+            result.table1.get((failure_type, recovery), 0.0),
+            unit="%",
+        )
+    emit(benchmark, comparison)
+    assert result.dominant_failure_type() == T.OUTPUT_FAILURE
+    assert comparison.all_within_factor(2.0)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The full paper reproduction: 25 phones, 14 months, every artifact.
+
+Runs the paper-scale campaign, regenerates every table and figure of
+§6, and prints them next to the paper's published values::
+
+    python examples/full_reproduction.py [--seed N] [--out report.txt]
+"""
+
+import argparse
+
+from repro import CampaignConfig, run_campaign
+from repro.experiments import paper
+from repro.experiments.compare import Comparison
+
+
+def headline_comparison(result) -> Comparison:
+    availability = result.report.availability
+    table2 = result.report.panic_table
+    comparison = Comparison("Headline findings: paper vs this reproduction")
+    comparison.add("freezes", paper.FREEZES, availability.freeze_count)
+    comparison.add(
+        "self-shutdowns", paper.SELF_SHUTDOWNS, availability.self_shutdown_count
+    )
+    comparison.add(
+        "MTBFr (h)", paper.MTBF_FREEZE_HOURS, availability.mtbf_freeze_hours
+    )
+    comparison.add(
+        "MTBS (h)", paper.MTBS_HOURS, availability.mtbf_self_shutdown_hours
+    )
+    comparison.add(
+        "failure interval (days)",
+        paper.FAILURE_INTERVAL_DAYS,
+        availability.failure_interval_days,
+    )
+    comparison.add(
+        "KERN-EXEC 3 (%)",
+        paper.ACCESS_VIOLATION_PERCENT,
+        table2.access_violation_percent,
+    )
+    comparison.add(
+        "E32USER-CBase (%)",
+        paper.HEAP_MANAGEMENT_PERCENT,
+        table2.heap_management_percent,
+    )
+    comparison.add(
+        "panics HL-related (%)",
+        paper.HL_RELATED_PERCENT,
+        result.report.hl.related_percent,
+    )
+    comparison.add(
+        "panics in cascades (%)",
+        paper.CASCADE_PANIC_PERCENT,
+        result.report.bursts.cascade_panic_percent,
+    )
+    return comparison
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--out", type=str, default=None, help="write report here")
+    args = parser.parse_args()
+
+    print(f"Simulating the 25-phone, 14-month campaign (seed {args.seed})...")
+    result = run_campaign(CampaignConfig.paper_scale(seed=args.seed))
+    print(
+        f"done: {result.fleet.sim.events_fired:,} events, "
+        f"{result.fleet.collector.total_lines:,} log lines collected.\n"
+    )
+
+    report_text = result.report.render()
+    print(report_text)
+    print()
+    print(headline_comparison(result).render())
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report_text + "\n")
+        print(f"\nreport written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small campaign and print the headline findings.
+
+A six-phone, two-month deployment — enough to see every mechanism of
+the study working end-to-end in a couple of seconds::
+
+    python examples/quickstart.py
+"""
+
+from repro import CampaignConfig, run_campaign
+
+
+def main() -> None:
+    result = run_campaign(CampaignConfig.quick(seed=42))
+
+    print("Campaign finished.")
+    print(f"  phones:            {result.dataset.phone_count}")
+    print(f"  log lines shipped: {result.fleet.collector.total_lines}")
+    print(f"  panics captured:   {result.dataset.total_panics}")
+    print()
+    print(result.report.render_headline())
+    print()
+    print(result.report.render_table2())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""What-if study: how much dependability would targeted fixes buy?
+
+Uses the calibrated fault model as a baseline and asks the questions
+the paper's conclusions motivate:
+
+* What if the memory-access-violation defects (KERN-EXEC 3) were
+  eliminated — the paper's #1 class at 56%?
+* What if real-time/interactive isolation were strengthened, removing
+  the activity-triggered defect classes (the paper's explicit
+  recommendation)?
+
+Each variant re-runs the campaign with the corresponding defect class
+removed and reports the availability delta::
+
+    python examples/what_if_fixes.py [--phones N] [--months M]
+"""
+
+import argparse
+import dataclasses
+
+from repro.analysis.tables import render_table
+from repro.core.clock import MONTH
+from repro.experiments import CampaignConfig, run_campaign
+from repro.phone.faults import FaultModelConfig
+from repro.phone.fleet import FleetConfig
+from repro.symbian import panics as P
+
+
+def variant_config(base: FaultModelConfig, name: str) -> FaultModelConfig:
+    if name == "baseline":
+        return base
+    if name == "no KERN-EXEC 3":
+        # Eliminating a defect class removes its activations; the other
+        # classes keep their absolute rates.  So each context's burst
+        # rate scales down by the removed class's weight share, and the
+        # class is stripped from the mix.
+        def strip(weights):
+            return {pid: w for pid, w in weights.items() if pid != P.KERN_EXEC_3}
+
+        def kept_share(weights):
+            total = sum(weights.values())
+            removed = weights.get(P.KERN_EXEC_3, 0.0)
+            return (total - removed) / total
+
+        return dataclasses.replace(
+            base,
+            voice_weights=strip(base.voice_weights),
+            message_weights=strip(base.message_weights),
+            background_weights=strip(base.background_weights),
+            per_call_burst_prob=base.per_call_burst_prob
+            * kept_share(base.voice_weights),
+            per_message_burst_prob=base.per_message_burst_prob
+            * kept_share(base.message_weights),
+            background_burst_rate=base.background_burst_rate
+            * kept_share(base.background_weights),
+        )
+    if name == "isolated real-time tasks":
+        # The paper's recommendation: no interference between real-time
+        # and interactive tasks -> activity-triggered defects vanish.
+        return dataclasses.replace(
+            base, per_call_burst_prob=0.0, per_message_burst_prob=0.0
+        )
+    raise ValueError(name)
+
+
+def run_variant(name: str, phones: int, months: float, seed: int):
+    fleet = FleetConfig(phone_count=phones, duration=months * MONTH)
+    fleet.faults = variant_config(fleet.faults, name)
+    result = run_campaign(CampaignConfig(fleet=fleet, seed=seed))
+    availability = result.report.availability
+    return (
+        name,
+        result.dataset.total_panics,
+        availability.freeze_count + availability.self_shutdown_count,
+        f"{availability.failure_interval_days:.1f}",
+        f"{result.report.hl.related_percent:.0f}%",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--phones", type=int, default=25)
+    parser.add_argument("--months", type=float, default=14.0)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args()
+
+    rows = []
+    for name in ("baseline", "no KERN-EXEC 3", "isolated real-time tasks"):
+        print(f"running variant: {name} ...")
+        rows.append(run_variant(name, args.phones, args.months, args.seed))
+
+    print()
+    print(
+        render_table(
+            (
+                "Variant",
+                "Panics",
+                "HL failures",
+                "Failure interval (days)",
+                "Panics HL-related",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\nNote: failures with no recorded panic (silent class) are "
+        "untouched by these fixes, which bounds the achievable gain — "
+        "the same observability limit the paper discusses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+legacy `pip install -e . --no-use-pep517` installs on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — a full reproduction of "How Do Mobile Phones Fail? A Failure
+Data Analysis of Symbian OS Smart Phones" (Cinque, Cotroneo,
+Kalbarczyk, Iyer; DSN 2007).
+
+The package is organized along the paper's own structure:
+
+* :mod:`repro.symbian` — a behavioural Symbian OS substrate whose guard
+  code raises every panic type in the paper's Table 2;
+* :mod:`repro.logger`  — the failure-data logger (Heartbeat, Panic
+  Detector, Running Applications Detector, Log Engine, Power Manager);
+* :mod:`repro.phone`   — the instrumented fleet: devices, users,
+  batteries, and the calibrated fault model;
+* :mod:`repro.forum`   — the §4 web-forum study (corpus + classifier);
+* :mod:`repro.analysis` — the offline pipeline that regenerates every
+  table and figure of §6 from raw logs;
+* :mod:`repro.experiments` — campaign orchestration and the paper's
+  published numbers for comparison.
+
+Quickstart::
+
+    from repro.experiments import CampaignConfig, run_campaign
+
+    result = run_campaign(CampaignConfig.quick())
+    print(result.report.render_headline())
+"""
+
+from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.config import CampaignConfig
+from repro.forum.study import run_forum_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "run_forum_study",
+    "__version__",
+]

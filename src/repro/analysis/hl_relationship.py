@@ -1,0 +1,144 @@
+"""Panics vs high-level events — Figure 5.
+
+5a: for every panic category, the split between panics that coalesce
+with a freeze, with a self-shutdown, and isolated panics.  The paper's
+observations this module recovers:
+
+* more than half (51%) of panics relate to an HL event;
+* application panics (EIKON-LISTBOX, EIKCOCTL, MMFAudioClient) and
+  KERN-SVR never manifest as HL events — good OS resilience;
+* Phone.app and MSGS Client panics *always* cause a self-shutdown (the
+  kernel reboots when a core application dies);
+* system panics (KERN-EXEC, E32USER-CBase, USER, ViewSrv) usually lead
+  to an HL event, with heap/USER/ViewSrv symptomatic of freezes and
+  KERN-EXEC 3 triggering both.
+
+5b details the same split per (category, HL kind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.coalescence import (
+    DEFAULT_WINDOW,
+    HL_FREEZE,
+    HL_SELF_SHUTDOWN,
+    CoalescenceResult,
+    HlEvent,
+    coalesce,
+    hl_events_from_study,
+)
+from repro.analysis.ingest import Dataset
+from repro.analysis.shutdowns import ShutdownStudy
+
+
+@dataclass
+class CategoryHlRow:
+    """Figure 5 data for one panic category."""
+
+    category: str
+    total: int
+    freeze_related: int
+    self_shutdown_related: int
+    isolated: int
+
+    @property
+    def related(self) -> int:
+        return self.freeze_related + self.self_shutdown_related
+
+    @property
+    def related_percent(self) -> float:
+        return 100.0 * self.related / self.total if self.total else 0.0
+
+    @property
+    def freeze_percent(self) -> float:
+        return 100.0 * self.freeze_related / self.total if self.total else 0.0
+
+    @property
+    def self_shutdown_percent(self) -> float:
+        return (
+            100.0 * self.self_shutdown_related / self.total if self.total else 0.0
+        )
+
+
+@dataclass
+class HlRelationship:
+    """The full Figure 5 result."""
+
+    window: float
+    rows: List[CategoryHlRow]
+    related_percent: float
+    #: Robustness check: related percent when *all* shutdown events
+    #: (including user shutdowns) count as HL events (paper: 55%).
+    related_percent_all_shutdowns: float
+    result: CoalescenceResult = field(repr=False, default=None)
+
+    def row(self, category: str) -> Optional[CategoryHlRow]:
+        for row in self.rows:
+            if row.category == category:
+                return row
+        return None
+
+    def never_hl_categories(self) -> Tuple[str, ...]:
+        """Categories whose panics never coalesced with an HL event."""
+        return tuple(
+            row.category for row in self.rows if row.total > 0 and row.related == 0
+        )
+
+    def always_self_shutdown_categories(self) -> Tuple[str, ...]:
+        """Categories that always led to a self-shutdown."""
+        return tuple(
+            row.category
+            for row in self.rows
+            if row.total > 0 and row.self_shutdown_related == row.total
+        )
+
+
+def compute_hl_relationship(
+    dataset: Dataset,
+    study: ShutdownStudy,
+    window: float = DEFAULT_WINDOW,
+    hl_events: Optional[Sequence[HlEvent]] = None,
+) -> HlRelationship:
+    """Run the coalescence and aggregate per category."""
+    if hl_events is None:
+        hl_events = hl_events_from_study(study)
+    result = coalesce(dataset, hl_events, window)
+
+    per_category: Dict[str, CategoryHlRow] = {}
+
+    def row_for(category: str) -> CategoryHlRow:
+        if category not in per_category:
+            per_category[category] = CategoryHlRow(category, 0, 0, 0, 0)
+        return per_category[category]
+
+    for match in result.matches:
+        row = row_for(match.panic.category)
+        row.total += 1
+        if match.hl_event.kind == HL_FREEZE:
+            row.freeze_related += 1
+        elif match.hl_event.kind == HL_SELF_SHUTDOWN:
+            row.self_shutdown_related += 1
+        else:
+            # user-shutdown matches only appear in the robustness
+            # variant; count them as self-shutdown-side for the split.
+            row.self_shutdown_related += 1
+    for _phone_id, panic in result.isolated_panics:
+        row = row_for(panic.category)
+        row.total += 1
+        row.isolated += 1
+
+    rows = sorted(per_category.values(), key=lambda r: -r.total)
+
+    all_events = hl_events_from_study(study, include_user_shutdowns=True)
+    all_result = coalesce(dataset, all_events, window)
+
+    return HlRelationship(
+        window=window,
+        rows=rows,
+        related_percent=result.related_percent,
+        related_percent_all_shutdowns=all_result.related_percent,
+        result=result,
+    )

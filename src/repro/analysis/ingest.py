@@ -1,0 +1,166 @@
+"""Ingestion: collected log lines -> per-phone record streams.
+
+The only door into the analysis.  Input is the mapping the collection
+server hands over (phone id -> raw lines); parsing is tolerant of the
+truncated lines a battery pull can leave behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.errors import AnalysisError
+from repro.core.records import (
+    ActivityRecord,
+    BootRecord,
+    EnrollRecord,
+    PanicRecord,
+    PowerRecord,
+    RunningAppsRecord,
+    UserReportRecord,
+)
+from repro.logger.logfile import parse_lines
+
+
+@dataclass
+class PhoneLog:
+    """Parsed record streams of one phone, in log order."""
+
+    phone_id: str
+    enroll: Optional[EnrollRecord] = None
+    boots: List[BootRecord] = field(default_factory=list)
+    panics: List[PanicRecord] = field(default_factory=list)
+    activities: List[ActivityRecord] = field(default_factory=list)
+    runapps: List[RunningAppsRecord] = field(default_factory=list)
+    power: List[PowerRecord] = field(default_factory=list)
+    user_reports: List[UserReportRecord] = field(default_factory=list)
+
+    @property
+    def record_count(self) -> int:
+        return (
+            (1 if self.enroll else 0)
+            + len(self.boots)
+            + len(self.panics)
+            + len(self.activities)
+            + len(self.runapps)
+            + len(self.power)
+            + len(self.user_reports)
+        )
+
+    @property
+    def start_time(self) -> float:
+        """Best available enrollment time.
+
+        The enroll record when it survived, else the first boot, else —
+        corruption can eat both — the earliest timestamp anywhere in
+        the log (a lower bound on observation).
+        """
+        if self.enroll is not None:
+            return self.enroll.time
+        if self.boots:
+            return self.boots[0].time
+        times = [
+            record.time
+            for stream in (
+                self.panics,
+                self.activities,
+                self.runapps,
+                self.power,
+                self.user_reports,
+            )
+            for record in stream
+        ]
+        if times:
+            return min(times)
+        raise AnalysisError(f"phone {self.phone_id!r} has no timestamped records")
+
+    def observed_hours(self, end_time: float) -> float:
+        """Wall-clock observation hours, enrollment to campaign end."""
+        return max(end_time - self.start_time, 0.0) / 3600.0
+
+
+class Dataset:
+    """All phones' parsed logs plus the campaign observation window."""
+
+    def __init__(self, logs: Dict[str, PhoneLog], end_time: float) -> None:
+        if end_time <= 0:
+            raise AnalysisError(f"end_time must be positive, got {end_time}")
+        self.logs = logs
+        self.end_time = end_time
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_lines(
+        cls,
+        lines_by_phone: Mapping[str, Iterable[str]],
+        end_time: Optional[float] = None,
+    ) -> "Dataset":
+        """Parse raw collected lines.
+
+        ``end_time`` defaults to the latest record timestamp seen
+        anywhere (a lower bound on the campaign end).
+        """
+        logs: Dict[str, PhoneLog] = {}
+        latest = 0.0
+        for phone_id in sorted(lines_by_phone):
+            log = PhoneLog(phone_id)
+            for record in parse_lines(lines_by_phone[phone_id]):
+                latest = max(latest, record.time)
+                if isinstance(record, EnrollRecord):
+                    log.enroll = record
+                elif isinstance(record, BootRecord):
+                    log.boots.append(record)
+                elif isinstance(record, PanicRecord):
+                    log.panics.append(record)
+                elif isinstance(record, ActivityRecord):
+                    log.activities.append(record)
+                elif isinstance(record, RunningAppsRecord):
+                    log.runapps.append(record)
+                elif isinstance(record, PowerRecord):
+                    log.power.append(record)
+                elif isinstance(record, UserReportRecord):
+                    log.user_reports.append(record)
+            if log.record_count:
+                logs[phone_id] = log
+        if not logs:
+            raise AnalysisError("dataset contains no parseable records")
+        return cls(logs, end_time if end_time is not None else latest)
+
+    @classmethod
+    def from_collector(cls, collector, end_time: Optional[float] = None) -> "Dataset":
+        """Ingest straight from a :class:`CollectionServer`."""
+        return cls.from_lines(collector.dataset(), end_time=end_time)
+
+    # -- convenience views ----------------------------------------------------------
+
+    @property
+    def phone_count(self) -> int:
+        return len(self.logs)
+
+    def phone_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.logs))
+
+    def all_panics(self) -> List[Tuple[str, PanicRecord]]:
+        """Every panic with its phone id, ordered by time."""
+        out = [
+            (phone_id, panic)
+            for phone_id, log in self.logs.items()
+            for panic in log.panics
+        ]
+        out.sort(key=lambda item: item[1].time)
+        return out
+
+    @property
+    def total_panics(self) -> int:
+        return sum(len(log.panics) for log in self.logs.values())
+
+    def total_observed_hours(self) -> float:
+        return sum(log.observed_hours(self.end_time) for log in self.logs.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(phones={self.phone_count}, panics={self.total_panics}, "
+            f"end={self.end_time:.0f}s)"
+        )

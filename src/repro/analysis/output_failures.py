@@ -1,0 +1,137 @@
+"""Output-failure analysis — the §7 future-work extension, analysed.
+
+The logger's interactive report channel captures the failures the
+heartbeat cannot: output failures, input failures, erratic behaviour.
+This module answers the questions the extension raises:
+
+* How often do users report them?  (A **lower bound** on the true rate
+  — users forget; the paper's Bluetooth-study experience.)
+* Does footnote 5 of the paper hold — are the *isolated* panics (those
+  never coalescing with a freeze/self-shutdown) the ones behind the
+  user-visible output failures?  We check by coalescing user reports
+  with panics and comparing against a chance baseline.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.coalescence import DEFAULT_WINDOW
+from repro.analysis.ingest import Dataset
+from repro.core.records import UserReportRecord
+
+
+@dataclass
+class OutputFailureStats:
+    """User-report statistics plus the panic-correlation evidence."""
+
+    report_count: int
+    reports_by_kind: Dict[str, int]
+    observed_hours: float
+    #: Fraction of user reports with a panic within the window before
+    #: or at the report.
+    panic_correlated_fraction: float
+    #: Chance level: fraction of uniformly random instants that would
+    #: land within the window of some panic (per-phone, averaged with
+    #: observation-time weights).
+    chance_fraction: float
+    window: float
+
+    @property
+    def reports_per_phone_hour(self) -> float:
+        if self.observed_hours <= 0:
+            return 0.0
+        return self.report_count / self.observed_hours
+
+    @property
+    def report_interval_days(self) -> float:
+        """A reported output failure every this many days of observation
+        (per phone).  A lower bound on the true failure interval."""
+        rate = self.reports_per_phone_hour
+        if rate <= 0:
+            return float("inf")
+        return 1.0 / rate / 24.0
+
+    @property
+    def correlation_lift(self) -> float:
+        """How many times above chance the panic correlation sits."""
+        if self.chance_fraction <= 0:
+            return float("inf") if self.panic_correlated_fraction > 0 else 1.0
+        return self.panic_correlated_fraction / self.chance_fraction
+
+
+def compute_output_failures(
+    dataset: Dataset,
+    window: float = DEFAULT_WINDOW,
+) -> OutputFailureStats:
+    """Aggregate user reports and correlate them with panics."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    reports: List[Tuple[str, UserReportRecord]] = []
+    by_kind: Dict[str, int] = {}
+    for phone_id, log in dataset.logs.items():
+        for report in log.user_reports:
+            reports.append((phone_id, report))
+            by_kind[report.kind] = by_kind.get(report.kind, 0) + 1
+
+    correlated = 0
+    for phone_id, report in reports:
+        panic_times = [p.time for p in dataset.logs[phone_id].panics]
+        if _has_time_within(panic_times, report.time, window):
+            correlated += 1
+
+    chance = _chance_fraction(dataset, window)
+    return OutputFailureStats(
+        report_count=len(reports),
+        reports_by_kind=dict(sorted(by_kind.items())),
+        observed_hours=dataset.total_observed_hours(),
+        panic_correlated_fraction=(correlated / len(reports)) if reports else 0.0,
+        chance_fraction=chance,
+        window=window,
+    )
+
+
+def _has_time_within(sorted_times: List[float], t: float, window: float) -> bool:
+    index = bisect.bisect_left(sorted_times, t)
+    for candidate in (index - 1, index):
+        if 0 <= candidate < len(sorted_times):
+            if abs(sorted_times[candidate] - t) <= window:
+                return True
+    return False
+
+
+def _chance_fraction(dataset: Dataset, window: float) -> float:
+    """Probability a uniformly random instant falls within ``window`` of
+    a panic, averaged over phones weighted by observation time."""
+    total_hours = dataset.total_observed_hours()
+    if total_hours <= 0:
+        return 0.0
+    weighted = 0.0
+    for log in dataset.logs.values():
+        hours = log.observed_hours(dataset.end_time)
+        if hours <= 0:
+            continue
+        covered = _covered_seconds(sorted(p.time for p in log.panics), window)
+        fraction = min(covered / (hours * 3600.0), 1.0)
+        weighted += fraction * hours
+    return weighted / total_hours
+
+
+def _covered_seconds(sorted_times: List[float], window: float) -> float:
+    """Total length of the union of +-window intervals around panics."""
+    covered = 0.0
+    interval_start: Optional[float] = None
+    interval_end: Optional[float] = None
+    for t in sorted_times:
+        lo, hi = t - window, t + window
+        if interval_end is None or lo > interval_end:
+            if interval_end is not None:
+                covered += interval_end - interval_start
+            interval_start, interval_end = lo, hi
+        else:
+            interval_end = max(interval_end, hi)
+    if interval_end is not None:
+        covered += interval_end - interval_start
+    return covered

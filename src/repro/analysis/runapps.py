@@ -1,0 +1,119 @@
+"""Panic-running-applications relationship — Table 4 and Figure 6.
+
+For each panic, the running-application set is the latest snapshot the
+Running Applications Detector wrote at or before the panic.  Figure 6
+is the distribution of the set's size (the paper's counter-intuitive
+finding: usually just *one* application runs at panic time).  Table 4
+cross-tabulates (panic category, HL outcome) against the applications
+present, as percentages of all panics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.coalescence import (
+    DEFAULT_WINDOW,
+    HL_FREEZE,
+    HL_SELF_SHUTDOWN,
+    CoalescenceResult,
+    coalesce,
+    hl_events_from_study,
+)
+from repro.analysis.ingest import Dataset, PhoneLog
+from repro.analysis.shutdowns import ShutdownStudy
+
+OUTCOME_FREEZE = "freeze"
+OUTCOME_SELF_SHUTDOWN = "self_shutdown"
+OUTCOME_NONE = "no_hl_event"
+
+
+def running_apps_at(log: PhoneLog, time: float) -> Tuple[str, ...]:
+    """The latest RUNAPP snapshot strictly before ``time``.
+
+    Strictly before, not at: a snapshot written at exactly the panic
+    instant is the *consequence* of the panic (the kernel terminated
+    the offending application, and the detector logged the shrunken
+    set), not the state the panic happened in.
+    """
+    snapshots = log.runapps
+    times = [snap.time for snap in snapshots]
+    index = bisect.bisect_left(times, time) - 1
+    if index < 0:
+        return ()
+    return snapshots[index].apps
+
+
+@dataclass
+class RunningAppsStats:
+    """Figure 6 + Table 4 data."""
+
+    #: app-count -> percent of panics with that many running apps.
+    count_distribution: Dict[int, float]
+    #: (category, outcome) -> {app -> percent of all panics}.
+    table: Dict[Tuple[str, str], Dict[str, float]]
+    #: app -> percent of all panics where it was running (column totals).
+    app_totals: Dict[str, float]
+    total_panics: int
+
+    @property
+    def modal_app_count(self) -> int:
+        """The most common number of running apps (paper: 1)."""
+        if not self.count_distribution:
+            return 0
+        return max(self.count_distribution.items(), key=lambda kv: kv[1])[0]
+
+    def top_apps(self, n: int = 5) -> List[Tuple[str, float]]:
+        """Most frequent co-running apps, descending."""
+        ranked = sorted(self.app_totals.items(), key=lambda kv: -kv[1])
+        return ranked[:n]
+
+
+def compute_running_apps(
+    dataset: Dataset,
+    study: ShutdownStudy,
+    window: float = DEFAULT_WINDOW,
+    result: Optional[CoalescenceResult] = None,
+) -> RunningAppsStats:
+    """Join every panic with its running-app snapshot and HL outcome."""
+    if result is None:
+        result = coalesce(dataset, hl_events_from_study(study), window)
+
+    outcome_by_panic: Dict[int, str] = {}
+    for match in result.matches:
+        if match.hl_event.kind == HL_FREEZE:
+            outcome_by_panic[id(match.panic)] = OUTCOME_FREEZE
+        elif match.hl_event.kind == HL_SELF_SHUTDOWN:
+            outcome_by_panic[id(match.panic)] = OUTCOME_SELF_SHUTDOWN
+
+    count_hist: Dict[int, int] = {}
+    table_counts: Dict[Tuple[str, str], Dict[str, int]] = {}
+    app_counts: Dict[str, int] = {}
+    total = 0
+
+    for phone_id, panic in dataset.all_panics():
+        log = dataset.logs[phone_id]
+        apps = running_apps_at(log, panic.time)
+        total += 1
+        count_hist[len(apps)] = count_hist.get(len(apps), 0) + 1
+        outcome = outcome_by_panic.get(id(panic), OUTCOME_NONE)
+        key = (panic.category, outcome)
+        cell = table_counts.setdefault(key, {})
+        for app in apps:
+            cell[app] = cell.get(app, 0) + 1
+            app_counts[app] = app_counts.get(app, 0) + 1
+
+    def pct(n: int) -> float:
+        return 100.0 * n / total if total else 0.0
+
+    return RunningAppsStats(
+        count_distribution={k: pct(v) for k, v in sorted(count_hist.items())},
+        table={
+            key: {app: pct(n) for app, n in sorted(cell.items())}
+            for key, cell in table_counts.items()
+        },
+        app_totals={app: pct(n) for app, n in app_counts.items()},
+        total_panics=total,
+    )

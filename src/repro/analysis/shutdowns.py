@@ -1,0 +1,200 @@
+"""Shutdown and freeze identification (§6 "Self-shutdowns
+Identification", Figure 2).
+
+From the boot records alone:
+
+* a boot whose previous heartbeat event is **ALIVE** means the power
+  was cut without a graceful shutdown — a battery pull, hence a
+  **freeze** of the previous cycle;
+* a boot after a **REBOOT** beat is a shutdown event whose *reboot
+  duration* (off time) is the boot time minus the beat time; the
+  duration histogram is bimodal (self-shutdowns near 80 s, night-time
+  power-offs near 30 000 s), and the paper cuts at 360 s to isolate
+  **self-shutdowns**;
+* **LOWBT** and **MAOFF** boots are excluded from failure statistics
+  (flat battery / logger deliberately stopped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.records import (
+    BEAT_ALIVE,
+    BEAT_LOWBT,
+    BEAT_MAOFF,
+    BEAT_NONE,
+    BEAT_REBOOT,
+)
+from repro.analysis.ingest import Dataset
+
+#: The paper's self-shutdown threshold: reboot durations under 360 s
+#: are assumed to be self-shutdowns.
+SELF_SHUTDOWN_THRESHOLD = 360.0
+
+
+@dataclass(frozen=True)
+class FreezeEvent:
+    """A freeze, convicted by an ALIVE-last boot."""
+
+    phone_id: str
+    #: When the phone came back (the boot that detected the freeze).
+    detected_at: float
+    #: Last ALIVE beat: the latest instant the phone was known healthy.
+    last_alive: float
+
+    @property
+    def est_time(self) -> float:
+        """Best available estimate of when the freeze happened."""
+        return self.last_alive
+
+
+@dataclass(frozen=True)
+class ShutdownEvent:
+    """A graceful shutdown (REBOOT beat) and its off-time."""
+
+    phone_id: str
+    #: When the shutdown happened (the final REBOOT beat).
+    at: float
+    #: When the phone booted again.
+    boot_time: float
+
+    @property
+    def duration(self) -> float:
+        """The reboot duration (phone off-time), Figure 2's variable."""
+        return self.boot_time - self.at
+
+    def is_self_shutdown(self, threshold: float = SELF_SHUTDOWN_THRESHOLD) -> bool:
+        return self.duration < threshold
+
+
+@dataclass
+class ShutdownStudy:
+    """All freeze/shutdown events extracted from a dataset."""
+
+    freezes: List[FreezeEvent]
+    shutdowns: List[ShutdownEvent]
+    lowbt_count: int
+    maoff_count: int
+    first_boot_count: int
+
+    def self_shutdowns(
+        self, threshold: float = SELF_SHUTDOWN_THRESHOLD
+    ) -> List[ShutdownEvent]:
+        """Shutdowns classified as self-shutdowns by the duration filter."""
+        return [s for s in self.shutdowns if s.is_self_shutdown(threshold)]
+
+    def user_shutdowns(
+        self, threshold: float = SELF_SHUTDOWN_THRESHOLD
+    ) -> List[ShutdownEvent]:
+        return [s for s in self.shutdowns if not s.is_self_shutdown(threshold)]
+
+    def self_shutdown_fraction(
+        self, threshold: float = SELF_SHUTDOWN_THRESHOLD
+    ) -> float:
+        """Fraction of all shutdown events classified self (paper: 24.2%)."""
+        if not self.shutdowns:
+            return 0.0
+        return len(self.self_shutdowns(threshold)) / len(self.shutdowns)
+
+    # -- Figure 2 ------------------------------------------------------------------
+
+    def duration_histogram(
+        self, bin_edges: Sequence[float]
+    ) -> List[Tuple[float, float, int]]:
+        """Histogram of reboot durations: (lo, hi, count) per bin.
+
+        ``bin_edges`` must be increasing; durations outside the edges
+        fall off the histogram (callers pick the range they plot).
+        """
+        if len(bin_edges) < 2 or any(
+            b2 <= b1 for b1, b2 in zip(bin_edges, bin_edges[1:])
+        ):
+            raise ValueError("bin_edges must be strictly increasing, length >= 2")
+        counts = [0] * (len(bin_edges) - 1)
+        for event in self.shutdowns:
+            d = event.duration
+            for i in range(len(counts)):
+                if bin_edges[i] <= d < bin_edges[i + 1]:
+                    counts[i] += 1
+                    break
+        return [
+            (bin_edges[i], bin_edges[i + 1], counts[i]) for i in range(len(counts))
+        ]
+
+    def median_self_shutdown_duration(
+        self, threshold: float = SELF_SHUTDOWN_THRESHOLD
+    ) -> float:
+        """Median off-time of self-shutdowns (paper: ~80 s)."""
+        durations = sorted(s.duration for s in self.self_shutdowns(threshold))
+        if not durations:
+            return 0.0
+        mid = len(durations) // 2
+        if len(durations) % 2:
+            return durations[mid]
+        return (durations[mid - 1] + durations[mid]) / 2.0
+
+    def night_mode_duration(self) -> float:
+        """Mode of the long-duration lobe (paper: ~30000 s).
+
+        Computed as the median of user-shutdown durations between one
+        and sixteen hours, which is robust to the tail.
+        """
+        durations = sorted(
+            s.duration
+            for s in self.shutdowns
+            if 3600.0 <= s.duration <= 16 * 3600.0
+        )
+        if not durations:
+            return 0.0
+        return durations[len(durations) // 2]
+
+    def freezes_by_phone(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for freeze in self.freezes:
+            out[freeze.phone_id] = out.get(freeze.phone_id, 0) + 1
+        return out
+
+
+def compute_shutdown_study(dataset: Dataset) -> ShutdownStudy:
+    """Classify every boot record in the dataset."""
+    freezes: List[FreezeEvent] = []
+    shutdowns: List[ShutdownEvent] = []
+    lowbt = 0
+    maoff = 0
+    first_boots = 0
+    for phone_id, log in dataset.logs.items():
+        for boot in log.boots:
+            kind = boot.last_beat_kind
+            if kind == BEAT_NONE:
+                first_boots += 1
+            elif kind == BEAT_ALIVE:
+                freezes.append(
+                    FreezeEvent(
+                        phone_id=phone_id,
+                        detected_at=boot.time,
+                        last_alive=boot.last_beat_time,
+                    )
+                )
+            elif kind == BEAT_REBOOT:
+                shutdowns.append(
+                    ShutdownEvent(
+                        phone_id=phone_id,
+                        at=boot.last_beat_time,
+                        boot_time=boot.time,
+                    )
+                )
+            elif kind == BEAT_LOWBT:
+                lowbt += 1
+            elif kind == BEAT_MAOFF:
+                maoff += 1
+    freezes.sort(key=lambda e: e.detected_at)
+    shutdowns.sort(key=lambda e: e.at)
+    return ShutdownStudy(
+        freezes=freezes,
+        shutdowns=shutdowns,
+        lowbt_count=lowbt,
+        maoff_count=maoff,
+        first_boot_count=first_boots,
+    )

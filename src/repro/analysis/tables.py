@@ -1,0 +1,62 @@
+"""Plain-text table rendering for reports and benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; numeric cells are right-aligned, text cells
+    left-aligned.
+    """
+    str_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells: Sequence[str], numeric_mask: Sequence[bool]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            width = widths[i] if i < len(widths) else len(cell)
+            parts.append(cell.rjust(width) if numeric_mask[i] else cell.ljust(width))
+        return "  ".join(parts).rstrip()
+
+    numeric_columns = _numeric_columns(str_rows, len(widths))
+    out = [
+        line(list(headers), [False] * len(widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        out.append(line(row, numeric_columns))
+    return "\n".join(out)
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """``12.345`` -> ``'12.35'`` (no % sign: headers carry the unit)."""
+    return f"{value:.{digits}f}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _numeric_columns(rows: List[List[str]], n: int) -> List[bool]:
+    numeric = [True] * n
+    for row in rows:
+        for i in range(n):
+            cell = row[i] if i < len(row) else ""
+            if cell in ("", "."):
+                continue
+            try:
+                float(cell)
+            except ValueError:
+                numeric[i] = False
+    return numeric

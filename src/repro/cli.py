@@ -1,0 +1,128 @@
+"""Command-line interface.
+
+Three subcommands cover the whole study:
+
+* ``campaign`` — simulate a deployment campaign, print the full report,
+  optionally export the raw per-phone log files to a directory;
+* ``analyze``  — ingest previously exported log files and rerun the
+  offline analysis (the logs are the complete interface: this is the
+  paper's analysis workstation);
+* ``forum``    — run the §4 web-forum study.
+
+Usage::
+
+    python -m repro.cli campaign --phones 25 --months 14 --export logs/
+    python -m repro.cli analyze logs/
+    python -m repro.cli forum --noise 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.ingest import Dataset
+from repro.analysis.report import build_report
+from repro.core.clock import MONTH
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import CampaignConfig
+from repro.forum.corpus import CorpusConfig
+from repro.forum.study import run_forum_study
+from repro.logger.transfer import load_lines_from_dir
+from repro.phone.fleet import FleetConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'How Do Mobile Phones Fail?' (DSN 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser(
+        "campaign", help="simulate a deployment campaign and analyse it"
+    )
+    campaign.add_argument("--phones", type=int, default=25)
+    campaign.add_argument("--months", type=float, default=14.0)
+    campaign.add_argument("--seed", type=int, default=2005)
+    campaign.add_argument(
+        "--export", metavar="DIR", default=None,
+        help="write the raw per-phone log files here",
+    )
+    campaign.add_argument(
+        "--headline-only", action="store_true",
+        help="print only the headline findings",
+    )
+    campaign.add_argument(
+        "--extended", action="store_true",
+        help="append the extension analyses (downtime, reliability, "
+        "variability, trends)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze", help="analyse previously exported log files"
+    )
+    analyze.add_argument("directory", help="directory of <phone>.log files")
+    analyze.add_argument(
+        "--end-time", type=float, default=None,
+        help="campaign end (seconds since epoch); default: last record",
+    )
+
+    forum = sub.add_parser("forum", help="run the section-4 forum study")
+    forum.add_argument("--noise", type=float, default=0.25)
+    forum.add_argument("--reports", type=int, default=533)
+    forum.add_argument("--seed", type=int, default=2003)
+
+    return parser
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    fleet = FleetConfig(phone_count=args.phones, duration=args.months * MONTH)
+    result = run_campaign(CampaignConfig(fleet=fleet, seed=args.seed))
+    if args.headline_only:
+        print(result.report.render_headline())
+    elif args.extended:
+        print(result.report.render_extended())
+    else:
+        print(result.report.render())
+    if args.export:
+        written = result.fleet.collector.export_to_dir(args.export)
+        print(f"\nexported {written} phone logs to {args.export}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    lines = load_lines_from_dir(args.directory)
+    if not lines:
+        print(f"no .log files found in {args.directory}", file=sys.stderr)
+        return 1
+    dataset = Dataset.from_lines(lines, end_time=args.end_time)
+    report = build_report(dataset)
+    print(report.render())
+    return 0
+
+
+def _cmd_forum(args: argparse.Namespace) -> int:
+    config = CorpusConfig(failure_reports=args.reports, noise_level=args.noise)
+    result = run_forum_study(config, seed=args.seed)
+    print(result.render_table1())
+    print()
+    print(result.render_summary())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "forum":
+        return _cmd_forum(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine owns the virtual clock and a priority queue of scheduled
+callbacks.  Determinism matters for reproducibility of the whole
+campaign, so event ordering is total: events are ordered by
+``(time, priority, sequence)`` where the sequence number is assigned at
+scheduling time.  Two events scheduled for the same instant therefore
+fire in scheduling order unless a priority says otherwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.core.clock import SimClock
+from repro.core.errors import SimulationError
+
+
+class ScheduledEvent:
+    """Handle to a scheduled callback.
+
+    Holding the handle allows cancellation.  Cancellation is lazy: the
+    entry stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is a no-op."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"ScheduledEvent(t={self.time:.1f}, {name}, {state})"
+
+
+class Simulator:
+    """Event loop over virtual time.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule_after(10.0, callback, arg1)
+        sim.run_until(3600.0)
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self._heap: List[ScheduledEvent] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds since epoch)."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_fired
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is before the current clock.
+        """
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.clock.now}, t={time}"
+            )
+        event = ScheduledEvent(float(time), priority, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self.clock.now + delay, fn, *args, priority=priority)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns ``False`` when idle."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.time)
+        self._events_fired += 1
+        event.fn(*event.args)
+        return True
+
+    def run_until(self, t: float) -> None:
+        """Fire every event with ``time <= t``, then advance the clock to ``t``."""
+        self._guard_reentry()
+        try:
+            while True:
+                self._drop_cancelled()
+                if not self._heap or self._heap[0].time > t:
+                    break
+                event = heapq.heappop(self._heap)
+                self.clock.advance_to(event.time)
+                self._events_fired += 1
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        self.clock.advance_to(t)
+
+    def run(self) -> None:
+        """Fire events until the queue drains completely."""
+        self._guard_reentry()
+        try:
+            while self.step():
+                pass
+        finally:
+            self._running = False
+
+    def pending_count(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def _guard_reentry(self) -> None:
+        if self._running:
+            raise SimulationError("simulator run loop is not re-entrant")
+        self._running = True
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.clock.now:.1f}, pending={self.pending_count()}, "
+            f"fired={self._events_fired})"
+        )

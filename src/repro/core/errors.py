@@ -1,0 +1,37 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers
+can catch everything raised deliberately by this package with one clause.
+Substrate-level faults (access violations, bad handles, ...) live in
+``repro.symbian`` because they model OS behaviour rather than library
+errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that
+    has already been stopped, or cancelling an event twice.
+    """
+
+
+class ConfigError(ReproError):
+    """A campaign or component configuration is invalid."""
+
+
+class LogFormatError(ReproError):
+    """A serialized log file line could not be parsed.
+
+    The analysis pipeline is tolerant by default (truncated final lines
+    are expected after a battery pull); this error is raised only in
+    strict mode or for structurally impossible content.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis step received data it cannot interpret."""

@@ -1,0 +1,66 @@
+"""Synchronous publish/subscribe bus for domain events.
+
+Simulator components (kernel, servers, logger AOs) are decoupled through
+topic-based subscription: the kernel publishes ``"panic"`` events, the
+RDebug hook republishes them to the logger, the System Agent publishes
+battery transitions, and so on.  Delivery is synchronous and in
+subscription order, which keeps the whole simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+Handler = Callable[..., None]
+
+
+class Subscription:
+    """Returned by :meth:`EventBus.subscribe`; call :meth:`cancel` to detach."""
+
+    __slots__ = ("_bus", "_topic", "_handler", "_active")
+
+    def __init__(self, bus: "EventBus", topic: str, handler: Handler) -> None:
+        self._bus = bus
+        self._topic = topic
+        self._handler = handler
+        self._active = True
+
+    def cancel(self) -> None:
+        """Detach the handler.  Cancelling twice is a no-op."""
+        if self._active:
+            self._bus._remove(self._topic, self._handler)
+            self._active = False
+
+
+class EventBus:
+    """Topic string -> ordered handler list."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[Handler]] = {}
+
+    def subscribe(self, topic: str, handler: Handler) -> Subscription:
+        """Register ``handler`` for ``topic``; returns a cancellable handle."""
+        self._handlers.setdefault(topic, []).append(handler)
+        return Subscription(self, topic, handler)
+
+    def publish(self, topic: str, *args: Any, **kwargs: Any) -> int:
+        """Invoke every handler registered for ``topic``.
+
+        Returns the number of handlers invoked.  Handlers added while
+        publishing do not receive the current event (the list is copied).
+        """
+        handlers = list(self._handlers.get(topic, ()))
+        for handler in handlers:
+            handler(*args, **kwargs)
+        return len(handlers)
+
+    def handler_count(self, topic: str) -> int:
+        """Number of handlers currently subscribed to ``topic``."""
+        return len(self._handlers.get(topic, ()))
+
+    def _remove(self, topic: str, handler: Handler) -> None:
+        handlers = self._handlers.get(topic)
+        if handlers and handler in handlers:
+            handlers.remove(handler)
+            if not handlers:
+                del self._handlers[topic]

@@ -1,0 +1,19 @@
+"""Campaign orchestration and paper ground truth.
+
+* :mod:`config`   — the campaign configuration (25 phones, 14 months).
+* :mod:`campaign` — run fleet -> collect -> analyse in one call.
+* :mod:`paper`    — the paper's published numbers, as data.
+* :mod:`compare`  — paper-vs-measured comparison tables.
+"""
+
+from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.compare import Comparison, ComparisonRow
+from repro.experiments.config import CampaignConfig
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "Comparison",
+    "ComparisonRow",
+]

@@ -1,0 +1,40 @@
+"""One-call campaign runner: fleet -> logs -> analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.ingest import Dataset
+from repro.analysis.report import ReproductionReport, build_report
+from repro.experiments.config import CampaignConfig
+from repro.phone.fleet import Fleet
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produces."""
+
+    config: CampaignConfig
+    fleet: Fleet
+    dataset: Dataset
+    report: ReproductionReport
+
+    @property
+    def ground_truth(self) -> dict:
+        """Simulator-side counters (never visible to the analysis)."""
+        return self.fleet.ground_truth()
+
+
+def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run a full campaign and analyse its collected logs.
+
+    The analysis operates exclusively on the collection server's lines;
+    the fleet object is returned for ground-truth validation only.
+    """
+    config = config if config is not None else CampaignConfig.paper_scale()
+    fleet = Fleet(config.fleet, seed=config.seed)
+    fleet.run()
+    dataset = Dataset.from_collector(fleet.collector, end_time=config.fleet.duration)
+    report = build_report(dataset, window=config.coalescence_window)
+    return CampaignResult(config=config, fleet=fleet, dataset=dataset, report=report)

@@ -1,0 +1,44 @@
+"""Campaign configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.clock import MONTH
+from repro.core.errors import ConfigError
+from repro.phone.fleet import FleetConfig
+
+
+@dataclass
+class CampaignConfig:
+    """One data-collection campaign: the fleet plus analysis knobs."""
+
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+    seed: int = 2005
+    #: Coalescence window for the panic/HL analysis (paper: 5 minutes).
+    coalescence_window: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.fleet.phone_count <= 0:
+            raise ConfigError("campaign needs at least one phone")
+        if self.fleet.duration <= 0:
+            raise ConfigError("campaign duration must be positive")
+        if self.coalescence_window <= 0:
+            raise ConfigError("coalescence window must be positive")
+
+    @classmethod
+    def paper_scale(cls, seed: int = 2005) -> "CampaignConfig":
+        """The paper's setup: 25 phones, 14 months."""
+        return cls(fleet=FleetConfig(phone_count=25, duration=14 * MONTH), seed=seed)
+
+    @classmethod
+    def quick(cls, seed: int = 2005) -> "CampaignConfig":
+        """A small, fast campaign for tests and examples: 6 phones, 2
+        months, everyone enrolled early."""
+        fleet = FleetConfig(
+            phone_count=6,
+            duration=2 * MONTH,
+            enroll_fraction_min=0.0,
+            enroll_fraction_max=0.15,
+        )
+        return cls(fleet=fleet, seed=seed)

@@ -1,0 +1,130 @@
+"""The paper's published numbers, as data.
+
+Single source of truth for every value the benchmarks compare against.
+Values marked *reconstructed* come from the scrambled two-column PDF
+dump of Tables 3/4 and are recovered from row/column totals plus the
+paper's narrative (see DESIGN.md §3, "Garbled-source caveat").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.forum.corpus import ACTIVITY_TARGET, TABLE1_TARGET
+from repro.symbian import panics as P
+from repro.symbian.panics import PanicId
+
+# ---------------------------------------------------------------------------
+# §4.1 — the forum study.
+# ---------------------------------------------------------------------------
+
+FORUM_REPORT_COUNT = 533
+#: Table 1: (failure type, recovery action) -> % of reports.
+PAPER_TABLE1: Dict[Tuple[str, str], float] = dict(TABLE1_TARGET)
+#: Failure type totals (% of reports).
+PAPER_TYPE_TOTALS = {
+    "output_failure": 36.3,
+    "freeze": 25.3,
+    "unstable_behavior": 18.5,
+    "self_shutdown": 16.9,
+    "input_failure": 3.0,
+}
+#: Activity at failure time (% of reports).
+PAPER_FORUM_ACTIVITY: Dict[str, float] = dict(ACTIVITY_TARGET)
+#: Share of failure reports from smart phones (vs 6.3% market share).
+PAPER_SMART_PHONE_SHARE = 22.3
+
+# ---------------------------------------------------------------------------
+# §6 — the logger campaign.
+# ---------------------------------------------------------------------------
+
+CAMPAIGN_PHONES = 25
+CAMPAIGN_MONTHS = 14
+
+#: Figure 2 and the self-shutdown filter.
+SHUTDOWN_EVENTS_TOTAL = 1778
+SELF_SHUTDOWNS = 471
+SELF_SHUTDOWN_FRACTION = 0.242
+SELF_SHUTDOWN_THRESHOLD_S = 360.0
+SELF_SHUTDOWN_MEDIAN_S = 80.0
+NIGHT_SHUTDOWN_MODE_S = 30000.0
+
+#: Freezes and availability.
+FREEZES = 360
+MTBF_FREEZE_HOURS = 313.0
+MTBS_HOURS = 250.0
+FREEZE_INTERVAL_DAYS = 13.0
+SELF_SHUTDOWN_INTERVAL_DAYS = 10.0
+FAILURE_INTERVAL_DAYS = 11.0
+
+#: Table 2: panic type -> % of all panics.
+PAPER_TABLE2: Dict[PanicId, float] = {
+    P.KERN_EXEC_0: 6.31,
+    P.KERN_EXEC_3: 56.31,
+    P.KERN_EXEC_15: 0.51,
+    P.E32USER_CBASE_33: 5.56,
+    P.E32USER_CBASE_46: 0.76,
+    P.E32USER_CBASE_47: 0.25,
+    P.E32USER_CBASE_69: 10.10,
+    P.E32USER_CBASE_91: 0.51,
+    P.E32USER_CBASE_92: 0.76,
+    P.USER_10: 1.52,
+    P.USER_11: 5.81,
+    P.USER_70: 0.76,
+    P.KERN_SVR_0: 0.25,
+    P.VIEW_SRV_11: 2.53,
+    P.EIKON_LISTBOX_3: 0.25,
+    P.EIKON_LISTBOX_5: 0.76,
+    P.PHONE_APP_2: 0.25,
+    P.EIKCOCTL_70: 0.25,
+    P.MSGS_CLIENT_3: 6.31,
+    P.MMF_AUDIO_CLIENT_4: 0.25,
+}
+
+#: Headline aggregates from Table 2.
+ACCESS_VIOLATION_PERCENT = 56.0  # KERN-EXEC 3
+HEAP_MANAGEMENT_PERCENT = 18.0  # E32USER-CBase total
+
+#: Figure 3: cascades.
+CASCADE_PANIC_PERCENT = 25.0
+
+#: Figure 4/5: coalescence.
+COALESCENCE_WINDOW_S = 300.0
+HL_RELATED_PERCENT = 51.0
+HL_RELATED_ALL_SHUTDOWNS_PERCENT = 55.0
+
+#: Figure 5a behaviour classes.
+NEVER_HL_CATEGORIES = (
+    P.EIKON_LISTBOX,
+    P.EIKCOCTL,
+    P.MMF_AUDIO_CLIENT,
+    P.KERN_SVR,
+)
+ALWAYS_SELF_SHUTDOWN_CATEGORIES = (P.PHONE_APP, P.MSGS_CLIENT)
+FREEZE_SYMPTOMATIC_CATEGORIES = (P.E32USER_CBASE, P.USER, P.VIEW_SRV)
+
+#: Table 3 row totals (% of HL-related panics).  Cell-level values are
+#: *reconstructed*; the row totals and the exclusivity claims are what
+#: the paper unambiguously states.
+PAPER_TABLE3_ROW_TOTALS = {
+    "voice_call": 38.64,
+    "message": 6.62,
+    "unspecified": 54.8,
+}
+REALTIME_ACTIVITY_PERCENT = 45.0
+VOICE_ONLY_CATEGORIES = (P.USER, P.VIEW_SRV)
+MESSAGE_ONLY_CATEGORIES = (P.PHONE_APP,)
+
+#: Table 4 (reconstructed): top applications running at panic time,
+#: % of all panics, plus the coverage of the published table.
+PAPER_TABLE4_TOP_APPS = {
+    "Messages": 8.18,
+    "MessagesLog": 6.91,
+    "CameraLogTelephone": 6.78,
+    "Log": 5.50,
+    "Clock": 4.48,
+}
+PAPER_TABLE4_COVERAGE_PERCENT = 53.0
+
+#: Figure 6: modal number of running applications at panic time.
+MODAL_RUNNING_APPS = 1

@@ -1,0 +1,38 @@
+"""The §4 high-level failure characterization — the web-forum study.
+
+The paper's first analysis stage: 533 free-format failure reports
+posted by users on public phone forums between January 2003 and March
+2006, filtered, classified along failure type / user-initiated recovery
+/ severity, and correlated with the activity at failure time.
+
+Since the original posts are not archived in machine-readable form, we
+generate a synthetic corpus with the same joint statistics from phrase
+templates (:mod:`vocabulary`, :mod:`corpus`), then run a rule-based
+classifier (:mod:`classifier`) over the raw text — the reproduction
+covers both the taxonomy and the classification method, and measures
+the classifier against the generator's ground truth.
+"""
+
+from repro.forum.classifier import ClassifiedReport, ReportClassifier
+from repro.forum.corpus import CorpusConfig, ForumPost, generate_corpus
+from repro.forum.study import ForumStudyResult, run_forum_study
+from repro.forum.taxonomy import (
+    FAILURE_TYPES,
+    RECOVERY_ACTIONS,
+    SEVERITY_LEVELS,
+    severity_for_recovery,
+)
+
+__all__ = [
+    "FAILURE_TYPES",
+    "RECOVERY_ACTIONS",
+    "SEVERITY_LEVELS",
+    "severity_for_recovery",
+    "ForumPost",
+    "CorpusConfig",
+    "generate_corpus",
+    "ReportClassifier",
+    "ClassifiedReport",
+    "ForumStudyResult",
+    "run_forum_study",
+]

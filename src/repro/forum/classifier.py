@@ -1,0 +1,188 @@
+"""Rule-based classifier for forum posts.
+
+Mirrors the paper's manual procedure: filter posts down to the ones
+that actually report a device failure, then classify failure type,
+user-initiated recovery, severity, and the activity at failure time —
+from the raw text only.  Keyword rules are ordered from specific to
+generic; posts matching no failure pattern are filtered out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.forum import taxonomy as T
+from repro.forum.corpus import _SMART_MODELS, ForumPost
+
+# Ordered (pattern, label) rules; first match wins.  Patterns are plain
+# lowercase substrings — the paper's classification was human reading,
+# and substring rules are its honest mechanical counterpart.
+_FAILURE_RULES: Tuple[Tuple[str, str], ...] = (
+    ("freez", T.FREEZE),
+    ("frozen", T.FREEZE),
+    ("locks up", T.FREEZE),
+    ("lock up", T.FREEZE),
+    ("hangs", T.FREEZE),
+    ("gets stuck", T.FREEZE),
+    ("unresponsive", T.FREEZE),
+    ("shuts down by itself", T.SELF_SHUTDOWN),
+    ("powers off on its own", T.SELF_SHUTDOWN),
+    ("turns itself off", T.SELF_SHUTDOWN),
+    ("erratic", T.UNSTABLE_BEHAVIOR),
+    ("by themselves", T.UNSTABLE_BEHAVIOR),
+    ("flicker", T.UNSTABLE_BEHAVIOR),
+    ("ghost key", T.UNSTABLE_BEHAVIOR),
+    ("power cycling", T.UNSTABLE_BEHAVIOR),
+    ("soft keys do not work", T.INPUT_FAILURE),
+    ("keypad stops", T.INPUT_FAILURE),
+    ("presses have no effect", T.INPUT_FAILURE),
+    ("buttons do nothing", T.INPUT_FAILURE),
+    ("indicator is wrong", T.OUTPUT_FAILURE),
+    ("wrong times", T.OUTPUT_FAILURE),
+    ("wrong information", T.OUTPUT_FAILURE),
+    ("settings do not stick", T.OUTPUT_FAILURE),
+    ("volume differs", T.OUTPUT_FAILURE),
+)
+# NOTE: the vaguest phrasings of each symptom ("it keeps dying",
+# "the phone ignores me", "weird stuff happens on its own", ...) are
+# deliberately NOT covered by rules — a keyword classifier cannot read
+# between the lines, and the noise ablation measures exactly how much
+# signal vague posts cost.
+
+_RECOVERY_RULES: Tuple[Tuple[str, str], ...] = (
+    ("service center", T.SERVICE),
+    ("master reset", T.SERVICE),
+    ("firmware", T.SERVICE),
+    ("send it in for service", T.SERVICE),
+    ("replaced the unit", T.SERVICE),
+    ("take the battery out", T.BATTERY_REMOVAL),
+    ("pulling the battery", T.BATTERY_REMOVAL),
+    ("removing the battery", T.BATTERY_REMOVAL),
+    ("reboot", T.REBOOT),
+    ("power cycle the phone", T.REBOOT),
+    ("turning it off and on", T.REBOOT),
+    ("waiting a while", T.WAIT),
+    ("leave it alone", T.WAIT),
+    ("minutes it sorts itself", T.WAIT),
+    ("repeat the action", T.REPEAT),
+    ("trying again", T.REPEAT),
+    ("second time works", T.REPEAT),
+)
+
+_ACTIVITY_RULES: Tuple[Tuple[str, str], ...] = (
+    ("voice call", T.ACT_VOICE),
+    ("phone call", T.ACT_VOICE),
+    ("text message", T.ACT_TEXT),
+    ("an sms", T.ACT_TEXT),
+    ("bluetooth", T.ACT_BLUETOOTH),
+    ("images", T.ACT_IMAGES),
+    ("pictures", T.ACT_IMAGES),
+)
+
+
+@dataclass(frozen=True)
+class ClassifiedReport:
+    """Labels the classifier extracted from one failure report."""
+
+    post_id: int
+    failure_type: str
+    recovery: str
+    severity: Optional[str]
+    activity: str
+    device_class: str
+    date: str
+    vendor: str
+
+
+class ReportClassifier:
+    """Filters and classifies a post stream."""
+
+    def __init__(self) -> None:
+        self.filtered_out = 0
+        self.classified = 0
+
+    def classify_post(self, post: ForumPost) -> Optional[ClassifiedReport]:
+        """Classify one post; ``None`` when it is not a failure report."""
+        text = post.text.lower()
+        failure_type = _first_match(text, _FAILURE_RULES)
+        if failure_type is None:
+            self.filtered_out += 1
+            return None
+        recovery = _first_match(text, _RECOVERY_RULES) or T.UNREPORTED
+        activity = _first_match(text, _ACTIVITY_RULES) or T.ACT_NONE
+        self.classified += 1
+        return ClassifiedReport(
+            post_id=post.post_id,
+            failure_type=failure_type,
+            recovery=recovery,
+            severity=T.severity_for_recovery(recovery),
+            activity=activity,
+            device_class=(
+                T.SMART_PHONE if post.model in _SMART_MODELS else T.CONVENTIONAL
+            ),
+            date=post.date,
+            vendor=post.vendor,
+        )
+
+    def classify_all(self, posts: Iterable[ForumPost]) -> List[ClassifiedReport]:
+        """Classify a stream, keeping only failure reports."""
+        out = []
+        for post in posts:
+            report = self.classify_post(post)
+            if report is not None:
+                out.append(report)
+        return out
+
+
+def score_against_ground_truth(
+    posts: Sequence[ForumPost],
+    classifier: Optional[ReportClassifier] = None,
+) -> Dict[str, float]:
+    """Classifier quality vs the generator's labels.
+
+    Returns detection precision/recall (failure report vs chatter) and
+    per-field accuracy over true failure reports that were detected.
+    """
+    classifier = classifier if classifier is not None else ReportClassifier()
+    true_positive = 0
+    false_positive = 0
+    false_negative = 0
+    type_correct = 0
+    recovery_correct = 0
+    activity_correct = 0
+    detected_failures = 0
+
+    for post in posts:
+        report = classifier.classify_post(post)
+        if post.is_failure_report and report is not None:
+            true_positive += 1
+            detected_failures += 1
+            if report.failure_type == post.failure_type:
+                type_correct += 1
+            if report.recovery == post.recovery:
+                recovery_correct += 1
+            if report.activity == post.activity:
+                activity_correct += 1
+        elif post.is_failure_report:
+            false_negative += 1
+        elif report is not None:
+            false_positive += 1
+
+    def ratio(n: int, d: int) -> float:
+        return n / d if d else 0.0
+
+    return {
+        "precision": ratio(true_positive, true_positive + false_positive),
+        "recall": ratio(true_positive, true_positive + false_negative),
+        "type_accuracy": ratio(type_correct, detected_failures),
+        "recovery_accuracy": ratio(recovery_correct, detected_failures),
+        "activity_accuracy": ratio(activity_correct, detected_failures),
+    }
+
+
+def _first_match(text: str, rules: Tuple[Tuple[str, str], ...]) -> Optional[str]:
+    for pattern, label in rules:
+        if pattern in text:
+            return label
+    return None

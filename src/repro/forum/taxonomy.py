@@ -1,0 +1,102 @@
+"""Failure taxonomy of the §4 forum study.
+
+Failure types (with the dependable-computing terms the paper cites):
+
+* **freeze** — lock-up / halting failure: output constant, no response
+  to input;
+* **self_shutdown** — silent failure: the device shuts itself down;
+* **unstable_behavior** — erratic failure: spontaneous behaviour with
+  no input (backlight flashing, apps self-activating);
+* **output_failure** — value failure: output deviates from expected
+  (wrong charge indicator, wrong volume, reminders at wrong times);
+* **input_failure** — omission value failure: inputs have no effect
+  (soft keys dead).
+
+User-initiated recovery actions: repeat the action, wait, reboot,
+remove the battery, service the phone; ``unreported`` when the post
+says nothing about recovery.
+
+Severity takes the user perspective — the difficulty of recovery:
+high = servicing required; medium = reboot or battery removal;
+low = repeating or waiting suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# Failure types.
+FREEZE = "freeze"
+SELF_SHUTDOWN = "self_shutdown"
+UNSTABLE_BEHAVIOR = "unstable_behavior"
+OUTPUT_FAILURE = "output_failure"
+INPUT_FAILURE = "input_failure"
+
+FAILURE_TYPES = (
+    FREEZE,
+    SELF_SHUTDOWN,
+    UNSTABLE_BEHAVIOR,
+    OUTPUT_FAILURE,
+    INPUT_FAILURE,
+)
+
+# Recovery actions.
+REPEAT = "repeat"
+WAIT = "wait"
+REBOOT = "reboot"
+BATTERY_REMOVAL = "battery_removal"
+SERVICE = "service"
+UNREPORTED = "unreported"
+
+RECOVERY_ACTIONS = (REPEAT, WAIT, REBOOT, BATTERY_REMOVAL, SERVICE, UNREPORTED)
+
+# Severity levels.
+SEVERITY_LOW = "low"
+SEVERITY_MEDIUM = "medium"
+SEVERITY_HIGH = "high"
+SEVERITY_LEVELS = (SEVERITY_LOW, SEVERITY_MEDIUM, SEVERITY_HIGH)
+
+# Activities at failure time the study correlates (§4.1).
+ACT_VOICE = "voice_call"
+ACT_TEXT = "text_message"
+ACT_BLUETOOTH = "bluetooth"
+ACT_IMAGES = "images"
+ACT_NONE = "none"
+FORUM_ACTIVITIES = (ACT_VOICE, ACT_TEXT, ACT_BLUETOOTH, ACT_IMAGES, ACT_NONE)
+
+# Device classes (the paper: smart phones were 22.3% of reports but
+# only 6.3% of 2005 market share).
+SMART_PHONE = "smart_phone"
+CONVENTIONAL = "conventional"
+DEVICE_CLASSES = (SMART_PHONE, CONVENTIONAL)
+
+#: Phone vendors present in the analyzed reports (§4.1).
+VENDORS = (
+    "Motorola",
+    "Nokia",
+    "Samsung",
+    "Sony-Ericsson",
+    "LG",
+    "Kyocera",
+    "Audiovox",
+    "HP",
+    "Blackberry",
+    "Handspring",
+    "Danger",
+)
+
+
+def severity_for_recovery(recovery: str) -> Optional[str]:
+    """Severity implied by a recovery action (§4's user perspective).
+
+    ``None`` for unreported recovery — severity cannot be assessed.
+    """
+    if recovery == SERVICE:
+        return SEVERITY_HIGH
+    if recovery in (REBOOT, BATTERY_REMOVAL):
+        return SEVERITY_MEDIUM
+    if recovery in (REPEAT, WAIT):
+        return SEVERITY_LOW
+    if recovery == UNREPORTED:
+        return None
+    raise ValueError(f"unknown recovery action {recovery!r}")

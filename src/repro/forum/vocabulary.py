@@ -1,0 +1,140 @@
+"""Phrase templates for the synthetic forum corpus.
+
+Each failure type / recovery action / activity has several phrasings,
+graded by how explicit they are: index 0 templates contain the clearest
+keywords, later ones get progressively vaguer.  The corpus generator
+mixes them according to its noise level, which is what the classifier-
+robustness ablation sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.forum import taxonomy as T
+
+# {failure_type: [clear ... vague]} symptom phrasings.
+SYMPTOM_PHRASES: Dict[str, List[str]] = {
+    T.FREEZE: [
+        "the phone freezes and stays frozen, completely unresponsive",
+        "the screen locks up and nothing responds",
+        "the handset hangs, no button does anything",
+        "it just gets stuck and will not react at all",
+    ],
+    T.SELF_SHUTDOWN: [
+        "the phone shuts down by itself without warning",
+        "it powers off on its own in the middle of the day",
+        "the handset turns itself off randomly",
+        "it keeps dying even with a full battery",
+    ],
+    T.UNSTABLE_BEHAVIOR: [
+        "the phone behaves erratically, backlight flashing and apps opening by themselves",
+        "random wallpaper disappearing and power cycling, probably ui memory leaks",
+        "menus start flickering and things activate with no input from me",
+        "weird stuff happens on its own, like ghost key presses",
+    ],
+    T.OUTPUT_FAILURE: [
+        "the charge indicator is wrong and the ring volume differs from what i configured",
+        "event reminders go off at the wrong times",
+        "the display shows the wrong information after i pick a setting",
+        "what comes out is not what i asked for, settings do not stick",
+    ],
+    T.INPUT_FAILURE: [
+        "the soft keys do not work, presses have no effect",
+        "the keypad stops registering my input",
+        "buttons do nothing even though the screen is alive",
+        "i tap and press and the phone ignores me",
+    ],
+}
+
+# {recovery: [clear ... vague]} recovery phrasings.
+RECOVERY_PHRASES: Dict[str, List[str]] = {
+    T.REPEAT: [
+        "if i repeat the action it eventually works",
+        "trying again usually gets it working",
+        "doing the same thing a second time works",
+    ],
+    T.WAIT: [
+        "after waiting a while it comes back by itself",
+        "if i leave it alone for some time it recovers",
+        "given a few minutes it sorts itself out",
+    ],
+    T.REBOOT: [
+        "a reboot fixes it until the next time",
+        "i have to power cycle the phone to get it back",
+        "turning it off and on again restores it",
+    ],
+    T.BATTERY_REMOVAL: [
+        "i have to take the battery out to recover",
+        "only pulling the battery brings it back, the power button does nothing",
+        "removing the battery is the only way out",
+    ],
+    T.SERVICE: [
+        "the service center had to do a master reset and a firmware update",
+        "i had to send it in for service, they reflashed the firmware",
+        "the shop replaced the unit because nothing else helped",
+    ],
+}
+
+# {activity: phrase} context phrasings (§4.1 activity correlation).
+ACTIVITY_PHRASES: Dict[str, List[str]] = {
+    T.ACT_VOICE: [
+        "it happens during a voice call",
+        "always in the middle of a phone call",
+    ],
+    T.ACT_TEXT: [
+        "whenever i try to write a text message",
+        "while sending or receiving an sms",
+    ],
+    T.ACT_BLUETOOTH: [
+        "when using bluetooth to transfer files",
+        "while a bluetooth connection is open",
+    ],
+    T.ACT_IMAGES: [
+        "when manipulating images from the camera",
+        "while browsing through my pictures",
+    ],
+}
+
+# Non-failure chatter templates (the bulk of real forum traffic).
+CHATTER_TEMPLATES = [
+    "anyone know where to download good ringtones for the {model}?",
+    "thinking of upgrading from my {model}, what would you recommend?",
+    "how do i sync the {model} calendar with my pc?",
+    "the {model} camera takes decent pictures for the price",
+    "what is the battery life like on the {model} with bluetooth on?",
+    "just got my {model} today, loving the screen so far",
+    "is there a way to change the menu theme on the {model}?",
+    "does the {model} support java games?",
+]
+
+#: Tricky chatter: mentions failure-ish words in a non-report way;
+#: generated rarely, it keeps classifier precision below a trivial 100%.
+TRICKY_CHATTER_TEMPLATES = [
+    "my {model} froze once during setup but has been fine since, great phone",
+    "a friend said her {model} hangs sometimes, mine never has, recommended",
+]
+
+#: Fraction of chatter drawn from the tricky templates.
+TRICKY_CHATTER_FRACTION = 0.03
+
+#: Openers that make failure posts read like real complaints.
+OPENERS = [
+    "so frustrated:",
+    "need help please.",
+    "has anyone else seen this?",
+    "my {model} is driving me crazy.",
+    "posting here as a last resort.",
+    "",
+]
+
+
+def pick_phrase(phrases: List[str], noise_level: float, stream) -> str:
+    """Pick a phrasing: low noise prefers the clear variants."""
+    if not phrases:
+        raise ValueError("empty phrase list")
+    if stream.bernoulli(1.0 - noise_level):
+        index = 0 if len(phrases) == 1 else stream.randint(0, min(1, len(phrases) - 1))
+    else:
+        index = stream.randint(0, len(phrases) - 1)
+    return phrases[index]

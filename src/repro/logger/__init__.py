@@ -1,0 +1,45 @@
+"""The failure data logger — the paper's instrument.
+
+A daemon of Symbian Active Objects that starts at phone boot and runs
+in the background (§5.1, Figure 1 of the paper):
+
+* **Heartbeat** — writes ALIVE beats; a graceful shutdown writes
+  REBOOT/LOWBT/MAOFF.  The *last* event in the beats file at the next
+  boot discriminates freezes (ALIVE: power was cut, i.e. battery pull)
+  from shutdowns.
+* **Panic Detector** — receives panic category/type via RDebug,
+  assembles the log, and writes the boot entry that captures the
+  previous cycle's final beat.
+* **Running Applications Detector** — logs the running-application set
+  from the Application Architecture Server.
+* **Log Engine** — logs call/message activity from the Database Log
+  Server.
+* **Power Manager** — logs battery state from the System Agent so
+  low-battery shutdowns can be told apart from failures.
+
+Log files are shipped to a collection server by
+:class:`~repro.logger.transfer.CollectionServer`, mirroring the paper's
+automated transfer infrastructure.
+"""
+
+from repro.logger.daemon import FailureDataLogger, LoggerConfig
+from repro.logger.heartbeat import BeatsFile, Heartbeat
+from repro.logger.logfile import (
+    LogStorage,
+    parse_line,
+    parse_lines,
+    serialize_record,
+)
+from repro.logger.transfer import CollectionServer
+
+__all__ = [
+    "FailureDataLogger",
+    "LoggerConfig",
+    "Heartbeat",
+    "BeatsFile",
+    "LogStorage",
+    "serialize_record",
+    "parse_line",
+    "parse_lines",
+    "CollectionServer",
+]

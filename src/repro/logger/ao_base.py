@@ -1,0 +1,71 @@
+"""Shared machinery for the logger's event-driven active objects.
+
+Each logger AO follows the same Symbian idiom: issue a request
+(``SetActive``), let the observed service complete it when something
+happens, process the queued payloads in ``RunL``, re-issue.  The base
+class implements that loop over an event-bus subscription; subclasses
+provide :meth:`handle_payload`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.core.events import EventBus
+from repro.symbian.active import CActive, CActiveScheduler
+
+
+class SubscribingAO(CActive):
+    """Active object fed by an event-bus subscription."""
+
+    def __init__(
+        self,
+        scheduler: CActiveScheduler,
+        bus: EventBus,
+        topic: str,
+        priority: int = 0,
+        name: str = "",
+    ) -> None:
+        super().__init__(scheduler, priority=priority, name=name)
+        self._queue: Deque[tuple] = deque()
+        self._subscription = bus.subscribe(topic, self._on_event)
+        self._issue()
+
+    # -- AO protocol -----------------------------------------------------------
+
+    def run_l(self) -> None:
+        """Drain queued payloads, then re-issue the request."""
+        while self._queue:
+            payload = self._queue.popleft()
+            self.handle_payload(*payload)
+        self._issue()
+
+    def do_cancel(self) -> None:
+        """Nothing outstanding at a real service; the queue just stops."""
+
+    def handle_payload(self, *payload: Any) -> None:
+        """Process one observed event (subclass responsibility)."""
+        raise NotImplementedError
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Stop observing (daemon shutdown or freeze)."""
+        self._subscription.cancel()
+        self.cancel()
+        self.scheduler.remove(self)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _issue(self) -> None:
+        self.i_status.mark_pending()
+        self.set_active()
+
+    def _on_event(self, *payload: Any) -> None:
+        self._queue.append(payload)
+        if self.is_active and self.i_status.pending:
+            self.i_status.complete(0)
+        # Pump the cooperative scheduler so the AO handles the event
+        # now; on the real device the thread's wait loop does this.
+        self.scheduler.run_until_idle()

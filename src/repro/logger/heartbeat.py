@@ -1,0 +1,150 @@
+"""The Heartbeat active object and the beats file.
+
+The crash-detection core of the paper's logger (§5.2): during normal
+execution the Heartbeat periodically writes an ALIVE event; on a
+graceful shutdown Symbian lets applications complete their tasks, which
+is enough for the Heartbeat to write a final REBOOT (or LOWBT for a
+flat battery, MAOFF when the user stops the logger).  A freeze writes
+nothing further — so at the next boot, a final ALIVE event convicts a
+battery pull, hence a freeze.
+
+Two operating modes, equivalent by construction and verified equivalent
+by property tests:
+
+* ``periodic`` — a real timer event writes every beat.  Faithful but
+  O(uptime/period) simulator events.
+* ``virtual`` (default) — the beats file content is computed lazily
+  from the segment start and the period.  Since only the *final* beat
+  of a power cycle ever matters, the observable log is identical while
+  long campaigns stay cheap to simulate.
+
+The beat-period quantization is real in both modes: a freeze at time
+``t`` leaves a last ALIVE beat at the latest grid point ``<= t``, so a
+coarser period means a coarser estimate of the freeze time (the
+heartbeat-interval ablation benchmark measures exactly this).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.core.engine import ScheduledEvent, Simulator
+from repro.core.records import BEAT_ALIVE, BEAT_NONE
+
+MODE_VIRTUAL = "virtual"
+MODE_PERIODIC = "periodic"
+
+#: Default beat period (seconds).  The paper tuned this on-device; the
+#: trade-off is replayed by ``benchmarks/bench_ablation_heartbeat.py``.
+DEFAULT_PERIOD = 60.0
+
+
+class BeatsFile:
+    """Persistent storage for heartbeat events.
+
+    Only the last event is semantically relevant (the Panic Detector
+    reads it at boot), so the file keeps the last event plus a count.
+    """
+
+    def __init__(self) -> None:
+        self._last: Optional[Tuple[str, float]] = None
+        self.writes = 0
+
+    def write(self, kind: str, time: float) -> None:
+        self._last = (kind, time)
+        self.writes += 1
+
+    def last_event(self) -> Tuple[str, float]:
+        """Last ``(kind, time)``; ``(NONE, 0.0)`` when never written."""
+        if self._last is None:
+            return (BEAT_NONE, 0.0)
+        return self._last
+
+    def __repr__(self) -> str:
+        kind, time = self.last_event()
+        return f"BeatsFile(last={kind}@{time:.1f}, writes={self.writes})"
+
+
+class Heartbeat:
+    """Beat writer for one power cycle."""
+
+    def __init__(
+        self,
+        beats: BeatsFile,
+        sim: Simulator,
+        period: float = DEFAULT_PERIOD,
+        mode: str = MODE_VIRTUAL,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"heartbeat period must be positive, got {period}")
+        if mode not in (MODE_VIRTUAL, MODE_PERIODIC):
+            raise ValueError(f"unknown heartbeat mode {mode!r}")
+        self.beats = beats
+        self.sim = sim
+        self.period = period
+        self.mode = mode
+        self._segment_start: Optional[float] = None
+        self._timer: Optional[ScheduledEvent] = None
+
+    @property
+    def running(self) -> bool:
+        return self._segment_start is not None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self, time: float) -> None:
+        """Begin beating; writes the first ALIVE immediately."""
+        if self.running:
+            raise ValueError("heartbeat already started")
+        self._segment_start = time
+        self.beats.write(BEAT_ALIVE, time)
+        if self.mode == MODE_PERIODIC:
+            self._schedule_next()
+
+    def shutdown(self, kind: str, time: float) -> None:
+        """Graceful shutdown: write the final ``kind`` event and stop.
+
+        ``kind`` is REBOOT, LOWBT, or MAOFF.  Symbian lets applications
+        complete their tasks before the power goes, which is what makes
+        this final write possible on the real device.
+        """
+        self._materialize_last_alive(time)
+        self.beats.write(kind, time)
+        self._stop()
+
+    def halt(self, time: float) -> None:
+        """Abrupt halt (freeze): no further writes happen after ``time``.
+
+        In virtual mode this materializes the last ALIVE beat at the
+        latest grid point not after ``time`` — exactly the beat a
+        periodic writer would have left on flash.
+        """
+        self._materialize_last_alive(time)
+        self._stop()
+
+    # -- internals ----------------------------------------------------------
+
+    def _materialize_last_alive(self, time: float) -> None:
+        if self._segment_start is None:
+            return
+        if self.mode == MODE_PERIODIC:
+            return  # beats were written for real
+        elapsed = max(time - self._segment_start, 0.0)
+        last = self._segment_start + math.floor(elapsed / self.period) * self.period
+        self.beats.write(BEAT_ALIVE, last)
+
+    def _schedule_next(self) -> None:
+        self._timer = self.sim.schedule_after(self.period, self._on_tick)
+
+    def _on_tick(self) -> None:
+        if not self.running:
+            return
+        self.beats.write(BEAT_ALIVE, self.sim.now)
+        self._schedule_next()
+
+    def _stop(self) -> None:
+        self._segment_start = None
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None

@@ -1,0 +1,33 @@
+"""The Log Engine active object.
+
+Collects the smart phone activity — voice calls and messages — from
+the Database Log Server (§5.1).  As the paper notes, those are the only
+activities the Symbian log database registers, which is why Table 3's
+activity correlation has exactly the columns it has.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import ActivityRecord
+from repro.logger.ao_base import SubscribingAO
+from repro.logger.logfile import LogStorage
+from repro.symbian.active import PRIORITY_STANDARD, CActiveScheduler
+from repro.symbian.servers.logdb import TOPIC_LOG_EVENT, LogEvent
+
+
+class LogEngine(SubscribingAO):
+    """Logs call/message transitions into the activity stream."""
+
+    def __init__(self, scheduler: CActiveScheduler, storage: LogStorage, bus) -> None:
+        super().__init__(
+            scheduler, bus, TOPIC_LOG_EVENT, priority=PRIORITY_STANDARD,
+            name="LogEngine",
+        )
+        self._storage = storage
+        self.events_recorded = 0
+
+    def handle_payload(self, event: LogEvent) -> None:
+        self._storage.append_record(
+            ActivityRecord(time=event.time, kind=event.kind, phase=event.phase)
+        )
+        self.events_recorded += 1

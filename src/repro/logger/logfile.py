@@ -1,0 +1,112 @@
+"""Log file format: serialization and tolerant parsing.
+
+One record per line: ``TAG|field|field|...``.  The format is the
+contract between the on-phone logger and the offline analysis; the
+parser is corruption-tolerant because a battery pull can truncate the
+final line of a real log file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.errors import LogFormatError
+from repro.core.records import record_from_fields
+
+FIELD_SEPARATOR = "|"
+
+
+def serialize_record(record) -> str:
+    """Render a record as one log line.
+
+    Raises:
+        LogFormatError: if any field contains the separator or a
+            newline (the writer refuses to produce unparseable output).
+    """
+    fields = record.to_fields()
+    for field in fields:
+        if FIELD_SEPARATOR in field or "\n" in field or "\r" in field:
+            raise LogFormatError(
+                f"field {field!r} of {record.TAG} contains a reserved character"
+            )
+    return FIELD_SEPARATOR.join([record.TAG, *fields])
+
+
+def parse_line(line: str):
+    """Parse one log line back into its record.
+
+    Raises:
+        LogFormatError: on empty lines, unknown tags, or bad fields.
+    """
+    line = line.strip()
+    if not line:
+        raise LogFormatError("empty log line")
+    tag, _, rest = line.partition(FIELD_SEPARATOR)
+    fields = rest.split(FIELD_SEPARATOR) if rest else []
+    return record_from_fields(tag, fields)
+
+
+def parse_lines(lines: Iterable[str], strict: bool = False) -> Iterator:
+    """Parse many lines, yielding records.
+
+    In tolerant mode (default) malformed lines are skipped — a real log
+    can end in a line truncated by power loss.  In strict mode the
+    first malformed line raises :class:`LogFormatError`.
+    """
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            yield parse_line(line)
+        except LogFormatError:
+            if strict:
+                raise
+
+
+class LogStorage:
+    """The phone's persistent log file (in-memory model of flash).
+
+    Survives reboots; the transfer service reads lines past a cursor so
+    repeated syncs ship only new data.
+    """
+
+    def __init__(self, phone_id: str = "") -> None:
+        self.phone_id = phone_id
+        self._lines: List[str] = []
+
+    def append_record(self, record) -> None:
+        """Serialize and append one record."""
+        self._lines.append(serialize_record(record))
+
+    def append_raw(self, line: str) -> None:
+        """Append a raw line (corruption-injection in tests)."""
+        self._lines.append(line)
+
+    def truncate_tail(self, keep_chars: int = 10) -> None:
+        """Model power loss mid-write: chop the final line short."""
+        if self._lines:
+            self._lines[-1] = self._lines[-1][:keep_chars]
+
+    @property
+    def line_count(self) -> int:
+        return len(self._lines)
+
+    def lines(self, start: int = 0) -> List[str]:
+        """Lines from index ``start`` onward."""
+        return self._lines[start:]
+
+    def records(self, strict: bool = False) -> List:
+        """All parseable records, in write order."""
+        return list(parse_lines(self._lines, strict=strict))
+
+    def last_record(self) -> Optional[object]:
+        """The final parseable record, or ``None``."""
+        for line in reversed(self._lines):
+            try:
+                return parse_line(line)
+            except LogFormatError:
+                continue
+        return None
+
+    def __repr__(self) -> str:
+        return f"LogStorage({self.phone_id!r}, lines={self.line_count})"

@@ -1,0 +1,30 @@
+"""The Power Manager active object.
+
+Provides the battery information that lets the analysis differentiate
+self-shutdowns due to failures from those due to a flat battery (§5.1).
+State transitions come from the System Agent Server.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import PowerRecord
+from repro.logger.ao_base import SubscribingAO
+from repro.logger.logfile import LogStorage
+from repro.symbian.active import PRIORITY_STANDARD, CActiveScheduler
+from repro.symbian.servers.sysagent import TOPIC_POWER_CHANGED
+
+
+class PowerManager(SubscribingAO):
+    """Logs battery level/state transitions."""
+
+    def __init__(self, scheduler: CActiveScheduler, storage: LogStorage, bus) -> None:
+        super().__init__(
+            scheduler, bus, TOPIC_POWER_CHANGED, priority=PRIORITY_STANDARD,
+            name="PowerManager",
+        )
+        self._storage = storage
+        self.transitions_recorded = 0
+
+    def handle_payload(self, time: float, level: float, state: str) -> None:
+        self._storage.append_record(PowerRecord(time=time, level=level, state=state))
+        self.transitions_recorded += 1

@@ -1,0 +1,89 @@
+"""Automated log transfer — the collection side of the study.
+
+The paper mentions a software infrastructure for automated transfer of
+log files from the phones (detailed in [1], Ascione et al., ISORC'06).
+The model keeps a per-phone cursor so periodic syncs ship only new
+lines, and the analysis pipeline ingests from the collection server —
+never from simulator internals.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from repro.logger.logfile import LogStorage
+
+#: File extension used for exported per-phone log files.
+LOG_EXTENSION = ".log"
+
+
+class CollectionServer:
+    """Accumulates log lines shipped from the fleet."""
+
+    def __init__(self) -> None:
+        self._lines: Dict[str, List[str]] = {}
+        self._cursors: Dict[str, int] = {}
+        self.syncs = 0
+
+    def sync(self, storage: LogStorage) -> int:
+        """Ship lines written since the last sync; returns lines shipped."""
+        phone_id = storage.phone_id
+        cursor = self._cursors.get(phone_id, 0)
+        new_lines = storage.lines(cursor)
+        if new_lines:
+            self._lines.setdefault(phone_id, []).extend(new_lines)
+            self._cursors[phone_id] = cursor + len(new_lines)
+        self.syncs += 1
+        return len(new_lines)
+
+    def phone_ids(self) -> Tuple[str, ...]:
+        """Phones that have shipped at least one line, sorted."""
+        return tuple(sorted(self._lines))
+
+    def lines_for(self, phone_id: str) -> List[str]:
+        """All collected lines for one phone, in write order."""
+        return list(self._lines.get(phone_id, ()))
+
+    def dataset(self) -> Dict[str, List[str]]:
+        """phone_id -> collected lines; the analysis pipeline's input."""
+        return {phone_id: list(lines) for phone_id, lines in self._lines.items()}
+
+    @property
+    def total_lines(self) -> int:
+        return sum(len(lines) for lines in self._lines.values())
+
+    # -- disk round trip ---------------------------------------------------------
+
+    def export_to_dir(self, directory: str) -> int:
+        """Write one ``<phone_id>.log`` file per phone; returns the
+        number of files written.  This is the shape of the dataset a
+        real campaign leaves on the analysis workstation."""
+        os.makedirs(directory, exist_ok=True)
+        for phone_id, lines in self._lines.items():
+            path = os.path.join(directory, phone_id + LOG_EXTENSION)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines))
+                if lines:
+                    handle.write("\n")
+        return len(self._lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectionServer(phones={len(self._lines)}, "
+            f"lines={self.total_lines})"
+        )
+
+
+def load_lines_from_dir(directory: str) -> Dict[str, List[str]]:
+    """Read every ``*.log`` file in ``directory`` back into the
+    phone-id -> lines mapping the analysis ingests."""
+    out: Dict[str, List[str]] = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(LOG_EXTENSION):
+            continue
+        phone_id = name[: -len(LOG_EXTENSION)]
+        path = os.path.join(directory, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            out[phone_id] = [line.rstrip("\n") for line in handle if line.strip()]
+    return out

@@ -1,0 +1,43 @@
+"""Phone and fleet simulation.
+
+Everything the paper had physically — 25 Symbian smart phones carried
+by real users for 14 months — is modelled here: the device lifecycle
+(boot, graceful shutdown, freeze, battery pull), the user behaviour
+that drives it (calls, messages, application sessions, night-time
+shutdown habits, impatient battery pulls), the battery, and the fault
+model whose defect activations exercise the Symbian substrate's real
+panic paths.
+"""
+
+from repro.phone.apps import APP_CATALOG, AppSpec, app_ids
+from repro.phone.battery import Battery
+from repro.phone.device import (
+    STATE_FROZEN,
+    STATE_OFF,
+    STATE_ON,
+    SHUTDOWN_KINDS,
+    SmartPhone,
+)
+from repro.phone.faults import FaultModel, FaultModelConfig
+from repro.phone.fleet import Fleet, PhoneInstance
+from repro.phone.profiles import UserProfile, make_profile
+from repro.phone.user import UserModel
+
+__all__ = [
+    "APP_CATALOG",
+    "AppSpec",
+    "app_ids",
+    "Battery",
+    "SmartPhone",
+    "STATE_ON",
+    "STATE_OFF",
+    "STATE_FROZEN",
+    "SHUTDOWN_KINDS",
+    "UserProfile",
+    "make_profile",
+    "UserModel",
+    "FaultModel",
+    "FaultModelConfig",
+    "Fleet",
+    "PhoneInstance",
+]

@@ -1,0 +1,64 @@
+"""Application catalog.
+
+The application names follow the paper's Table 4, which lists the
+applications found running at panic time on the studied phones:
+Messages, Telephone, Camera, Clock, Log, Contacts, a battery monitor,
+the Bluetooth browser, the FExplorer file manager, and TomTom
+navigation.  Popularity weights and session lengths shape the
+running-application mix the logger observes (Figure 6's mode of one
+concurrent application; Messages as the most frequent co-runner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.clock import MINUTE
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Static description of one user application."""
+
+    app_id: str
+    #: Relative probability a user session opens this app.
+    popularity: float
+    #: Median foreground session length in seconds.
+    median_session: float
+    #: Log-space sigma for the session-length lognormal.
+    session_sigma: float = 0.7
+    #: Apps some users leave running in the background for long spells
+    #: (Clock, Log): they inflate the concurrent-app count slightly.
+    lingering: bool = False
+
+
+#: Applications opened implicitly by activities rather than by browsing.
+TELEPHONE = "Telephone"
+MESSAGES = "Messages"
+
+APP_CATALOG: Dict[str, AppSpec] = {
+    spec.app_id: spec
+    for spec in (
+        AppSpec(MESSAGES, popularity=0.30, median_session=2 * MINUTE),
+        AppSpec(TELEPHONE, popularity=0.16, median_session=2 * MINUTE),
+        AppSpec("Log", popularity=0.13, median_session=1 * MINUTE, lingering=True),
+        AppSpec("Camera", popularity=0.10, median_session=3 * MINUTE),
+        AppSpec("Clock", popularity=0.08, median_session=0.5 * MINUTE, lingering=True),
+        AppSpec("Contacts", popularity=0.09, median_session=1 * MINUTE),
+        AppSpec("battery", popularity=0.04, median_session=0.5 * MINUTE),
+        AppSpec("BT_Browser", popularity=0.04, median_session=4 * MINUTE),
+        AppSpec("FExplorer", popularity=0.03, median_session=3 * MINUTE),
+        AppSpec("TomTom", popularity=0.03, median_session=12 * MINUTE),
+    )
+}
+
+
+def app_ids() -> Tuple[str, ...]:
+    """All catalogued application ids, in catalog order."""
+    return tuple(APP_CATALOG)
+
+
+def popularity_weights() -> Dict[str, float]:
+    """App id -> popularity weight, for weighted sampling."""
+    return {app_id: spec.popularity for app_id, spec in APP_CATALOG.items()}

@@ -1,0 +1,112 @@
+"""Battery model.
+
+Coarse but sufficient for the study's needs: the Power Manager must be
+able to distinguish *low-battery* shutdowns (LOWBT heartbeat events,
+excluded from the failure statistics) from failure-induced
+self-shutdowns.  The model tracks charge with a piecewise-linear drain
+anchored at the last update, charges overnight unless the user forgot
+to plug in, and reports threshold crossings so the device can schedule
+a LOWBT shutdown.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.clock import HOUR
+
+#: Fraction of charge consumed per hour of idle-on time (~29 h life).
+IDLE_DRAIN_PER_HOUR = 0.035
+#: Extra fractional drain per second of voice call.
+CALL_DRAIN_PER_SECOND = 0.25 / HOUR
+#: Charge level at which the OS performs the low-battery shutdown.
+SHUTDOWN_LEVEL = 0.02
+#: Charge fraction restored per hour on the charger.
+CHARGE_PER_HOUR = 0.5
+
+
+class Battery:
+    """Charge tracking with lazy evaluation between anchor points."""
+
+    def __init__(self, level: float = 1.0, anchor_time: float = 0.0) -> None:
+        self._level = min(max(level, 0.0), 1.0)
+        self._anchor = anchor_time
+        self._charging = False
+        self._draining = False  # True while the device is powered on
+
+    # -- state transitions ---------------------------------------------------
+
+    def power_on(self, time: float) -> None:
+        """Device powered on: drain begins."""
+        self._settle(time)
+        self._draining = True
+
+    def power_off(self, time: float) -> None:
+        """Device powered off: drain stops (self-discharge ignored)."""
+        self._settle(time)
+        self._draining = False
+
+    def start_charging(self, time: float) -> None:
+        self._settle(time)
+        self._charging = True
+
+    def stop_charging(self, time: float) -> None:
+        self._settle(time)
+        self._charging = False
+
+    def note_call_seconds(self, time: float, seconds: float) -> None:
+        """Account the extra drain of ``seconds`` of voice call."""
+        self._settle(time)
+        if self._draining and not self._charging:
+            self._level = max(self._level - seconds * CALL_DRAIN_PER_SECOND, 0.0)
+
+    def set_level(self, time: float, level: float) -> None:
+        """Force the charge level (battery swap, test setup)."""
+        self._level = min(max(level, 0.0), 1.0)
+        self._anchor = time
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def charging(self) -> bool:
+        return self._charging
+
+    def level_at(self, time: float) -> float:
+        """Charge level at ``time`` (>= the last anchor)."""
+        return self._project(time)
+
+    def time_until_shutdown_level(self, time: float) -> Optional[float]:
+        """Seconds until the charge reaches the shutdown level.
+
+        ``None`` when the battery is not discharging (charging, off, or
+        already flat at a level that cannot fall).
+        """
+        level = self._project(time)
+        if self._charging or not self._draining:
+            return None
+        if level <= SHUTDOWN_LEVEL:
+            return 0.0
+        return (level - SHUTDOWN_LEVEL) / IDLE_DRAIN_PER_HOUR * HOUR
+
+    # -- internals --------------------------------------------------------------
+
+    def _settle(self, time: float) -> None:
+        self._level = self._project(time)
+        self._anchor = max(time, self._anchor)
+
+    def _project(self, time: float) -> float:
+        elapsed = max(time - self._anchor, 0.0)
+        level = self._level
+        if self._charging:
+            level += elapsed / HOUR * CHARGE_PER_HOUR
+        elif self._draining:
+            level -= elapsed / HOUR * IDLE_DRAIN_PER_HOUR
+        return min(max(level, 0.0), 1.0)
+
+    def __repr__(self) -> str:
+        flags = []
+        if self._charging:
+            flags.append("charging")
+        if self._draining:
+            flags.append("on")
+        return f"Battery(level={self._level:.2f}, {'+'.join(flags) or 'idle'})"

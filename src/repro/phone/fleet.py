@@ -1,0 +1,191 @@
+"""The deployment campaign: a fleet of instrumented phones.
+
+Mirrors the paper's §6 setup: N phones (default 25) under normal use,
+enrolled progressively starting September 2005 ("deployed ... since
+September 2005", data collected "over the period of 14 months"), each
+shipping its log files to the collection server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.clock import DAY, MONTH
+from repro.core.engine import Simulator
+from repro.core.rand import RandomStreams
+from repro.logger.daemon import LoggerConfig
+from repro.logger.dexc import DExcLogger, attach_dexc
+from repro.logger.transfer import CollectionServer
+from repro.phone.device import SmartPhone
+from repro.phone.faults import FaultModel, FaultModelConfig
+from repro.phone.profiles import UserProfile, make_profile
+from repro.phone.user import UserModel
+
+
+@dataclass
+class FleetConfig:
+    """Shape of the deployment campaign."""
+
+    phone_count: int = 25
+    #: Total campaign duration (the paper's 14 months).
+    duration: float = 14 * MONTH
+    #: Phones enroll at a uniform random fraction of the campaign in
+    #: [min, max); late enrollment is why per-phone observation averages
+    #: well under the full 14 months.
+    enroll_fraction_min: float = 0.15
+    enroll_fraction_max: float = 0.97
+    #: Log files ship to the collection server every this many seconds.
+    transfer_interval: float = 7 * DAY
+    logger: LoggerConfig = field(default_factory=LoggerConfig)
+    faults: FaultModelConfig = field(default_factory=FaultModelConfig)
+    #: When set, every user's report compliance is forced to this value
+    #: (the §7 compliance-sweep experiments).
+    report_compliance_override: Optional[float] = None
+    #: Also install the D_EXC baseline (panic-only) collector on every
+    #: phone, for the baseline-comparison experiments.
+    attach_dexc: bool = False
+
+
+class PhoneInstance:
+    """One phone with its user and fault model wired together."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: UserProfile,
+        streams: RandomStreams,
+        campaign_end: float,
+        logger_config: LoggerConfig,
+        fault_config: FaultModelConfig,
+    ) -> None:
+        self.profile = profile
+        self.device = SmartPhone(sim, profile, logger_config)
+        self.user = UserModel(self.device, streams, campaign_end)
+        self.faults = FaultModel(self.device, streams, fault_config)
+        self.faults.misbehavior_observer = self.user.perceive_misbehavior
+        self.dexc: Optional[DExcLogger] = None
+        self.enrolled_at: float = 0.0
+
+    @property
+    def phone_id(self) -> str:
+        return self.profile.phone_id
+
+    def observed_hours(self, campaign_end: float) -> float:
+        """Wall-clock hours from enrollment to campaign end."""
+        return max(campaign_end - self.enrolled_at, 0.0) / 3600.0
+
+
+class Fleet:
+    """Builds, runs, and collects a whole campaign."""
+
+    def __init__(
+        self,
+        config: Optional[FleetConfig] = None,
+        seed: int = 2005,
+    ) -> None:
+        self.config = config if config is not None else FleetConfig()
+        self.seed = seed
+        self.sim = Simulator()
+        self.collector = CollectionServer()
+        self.streams = RandomStreams(seed)
+        self.phones: List[PhoneInstance] = []
+        self._built = False
+        self._ran = False
+
+    # -- construction ------------------------------------------------------------
+
+    def build(self) -> None:
+        """Create phones, users, fault models; schedule enrollments."""
+        if self._built:
+            raise ValueError("fleet already built")
+        self._built = True
+        cfg = self.config
+        enroll_stream = self.streams.stream("enrollment")
+        for index in range(cfg.phone_count):
+            phone_id = f"phone-{index:02d}"
+            phone_streams = self.streams.fork(phone_id)
+            profile = make_profile(phone_id, phone_streams)
+            instance = PhoneInstance(
+                self.sim,
+                profile,
+                phone_streams,
+                campaign_end=cfg.duration,
+                logger_config=cfg.logger,
+                fault_config=cfg.faults,
+            )
+            instance.user.report_compliance_override = (
+                cfg.report_compliance_override
+            )
+            if cfg.attach_dexc:
+                instance.dexc = attach_dexc(instance.device)
+            fraction = enroll_stream.uniform(
+                cfg.enroll_fraction_min, cfg.enroll_fraction_max
+            )
+            instance.enrolled_at = fraction * cfg.duration
+            instance.user.enroll(instance.enrolled_at)
+            self.phones.append(instance)
+        if cfg.transfer_interval > 0:
+            self.sim.schedule_after(cfg.transfer_interval, self._periodic_transfer)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run the whole campaign and perform the final log transfer."""
+        if not self._built:
+            self.build()
+        if self._ran:
+            raise ValueError("campaign already ran")
+        self._ran = True
+        self.sim.run_until(self.config.duration)
+        self.sync_all()
+
+    def _periodic_transfer(self) -> None:
+        self.sync_all()
+        next_time = self.sim.now + self.config.transfer_interval
+        if next_time < self.config.duration:
+            self.sim.schedule_at(next_time, self._periodic_transfer)
+
+    def sync_all(self) -> None:
+        """Ship every phone's new log lines to the collection server."""
+        for instance in self.phones:
+            self.collector.sync(instance.device.storage)
+
+    def dexc_dataset(self) -> Dict[str, List[str]]:
+        """phone id -> D_EXC baseline lines (empty unless attach_dexc)."""
+        return {
+            instance.phone_id: instance.dexc.storage.lines()
+            for instance in self.phones
+            if instance.dexc is not None and instance.dexc.storage.line_count
+        }
+
+    # -- ground truth for validation ----------------------------------------------------
+
+    def ground_truth(self) -> Dict[str, float]:
+        """Simulator-side counters (what the analysis should recover)."""
+        freezes = sum(p.device.freeze_count for p in self.phones)
+        boots = sum(p.device.boot_count for p in self.phones)
+        panics = sum(p.faults.panics_injected for p in self.phones)
+        self_shutdowns = sum(
+            p.device.shutdown_counts["self"] for p in self.phones
+        )
+        user_shutdowns = sum(
+            p.device.shutdown_counts["user"] for p in self.phones
+        )
+        lowbt = sum(p.device.shutdown_counts["lowbt"] for p in self.phones)
+        observed_hours = sum(
+            p.observed_hours(self.config.duration) for p in self.phones
+        )
+        misbehaviors = sum(p.user.misbehaviors_perceived for p in self.phones)
+        reports = sum(p.user.reports_filed for p in self.phones)
+        return {
+            "misbehaviors_perceived": float(misbehaviors),
+            "user_reports": float(reports),
+            "freezes": float(freezes),
+            "self_shutdowns": float(self_shutdowns),
+            "user_shutdowns": float(user_shutdowns),
+            "lowbt_shutdowns": float(lowbt),
+            "panics": float(panics),
+            "boots": float(boots),
+            "observed_hours": observed_hours,
+        }

@@ -1,0 +1,98 @@
+"""Per-user behaviour profiles.
+
+The paper's phones "belong to students, researchers, and professors
+from both Italy and USA" and run Symbian versions 6.1-9.0, most on 8.0.
+A profile captures everything user-specific the simulation needs: how
+much the user calls/texts/browses, their sleep window, whether they
+switch the phone off at night, how impatient they are when the phone
+freezes, OS version and region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clock import HOUR, MINUTE
+from repro.core.rand import RandomStreams
+
+#: OS versions in the study, weighted towards 8.0 ("the most popular on
+#: the market at the time the analysis started").
+OS_VERSION_WEIGHTS = {
+    "6.1": 0.08,
+    "7.0": 0.16,
+    "8.0": 0.56,
+    "8.1": 0.08,
+    "9.0": 0.12,
+}
+
+#: The study's two populations.
+REGION_WEIGHTS = {"Italy": 0.6, "USA": 0.4}
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Behavioural parameters for one phone's user."""
+
+    phone_id: str
+    region: str
+    os_version: str
+    #: Mean voice calls per day (in+out combined).
+    calls_per_day: float
+    #: Mean messages per day (sent+received combined).
+    messages_per_day: float
+    #: Mean browsing app sessions per day (excluding call/message apps).
+    app_sessions_per_day: float
+    #: Local hour the user wakes (phone use resumes).
+    wake_hour: float
+    #: Local hour the user goes to sleep.
+    sleep_hour: float
+    #: Probability the user powers the phone off for the night.
+    night_off_prob: float
+    #: Probability the user forgets to charge on a given night.
+    forget_charge_prob: float
+    #: Median seconds before a frozen phone's battery is pulled.
+    impatience_median: float
+    #: Probability per day of a spontaneous daytime reboot (habit).
+    day_reboot_prob: float
+    #: Median seconds of a voice call.
+    call_duration_median: float
+    #: Median seconds spent on one message (compose or read).
+    message_duration_median: float
+    #: Probability the user actually files a report when they perceive
+    #: an output failure (§7 extension).  The paper's Bluetooth-study
+    #: experience: "users are quite unreliable and often neglect or
+    #: forget to post the required information".
+    report_compliance: float = 0.4
+
+    @property
+    def waking_seconds(self) -> float:
+        """Length of the user's waking window, in seconds."""
+        return (self.sleep_hour - self.wake_hour) * HOUR
+
+
+def make_profile(phone_id: str, streams: RandomStreams) -> UserProfile:
+    """Sample a user profile from the population distributions.
+
+    ``streams`` should be the phone's own fork so profiles are stable
+    under changes elsewhere in the simulator.
+    """
+    s = streams.stream("profile")
+    wake = s.normal(7.5, 0.6, minimum=5.5)
+    sleep = s.normal(23.4, 0.7, minimum=wake + 12.0)
+    return UserProfile(
+        phone_id=phone_id,
+        region=s.weighted_choice(REGION_WEIGHTS),
+        os_version=s.weighted_choice(OS_VERSION_WEIGHTS),
+        calls_per_day=s.lognormal_median(2.8, 0.45),
+        messages_per_day=s.lognormal_median(4.6, 0.5),
+        app_sessions_per_day=s.lognormal_median(7.0, 0.5),
+        wake_hour=wake,
+        sleep_hour=min(sleep, 25.0),
+        night_off_prob=min(max(s.normal(0.28, 0.16, minimum=0.0), 0.0), 0.9),
+        forget_charge_prob=s.uniform(0.01, 0.06),
+        impatience_median=s.lognormal_median(3 * MINUTE, 0.4),
+        day_reboot_prob=s.uniform(0.0, 0.02),
+        call_duration_median=s.lognormal_median(95.0, 0.3),
+        message_duration_median=s.lognormal_median(35.0, 0.3),
+        report_compliance=s.uniform(0.15, 0.7),
+    )

@@ -1,0 +1,412 @@
+"""User behaviour model.
+
+Drives everything a human does to the phone in the paper's study:
+normal use (voice calls, messages, application sessions), the daily
+rhythm (waking hours, bedtime, charging), the habits that shape the
+reboot-duration distribution of Figure 2 (night-time power-off around
+eight hours twenty minutes, quick restarts after self-shutdowns), and
+the recovery behaviour of §4 (pulling the battery of a frozen phone
+after an impatience delay).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.clock import DAY, HOUR, MINUTE
+from repro.core.rand import RandomStreams, Stream
+from repro.core.records import REPORT_OUTPUT_FAILURE
+from repro.phone.apps import APP_CATALOG, MESSAGES, TELEPHONE, popularity_weights
+from repro.phone.device import (
+    SHUTDOWN_LOWBT,
+    SHUTDOWN_PULL,
+    SHUTDOWN_SELF,
+    SHUTDOWN_USER,
+    STATE_OFF,
+    STATE_ON,
+    SmartPhone,
+)
+
+#: Fraction of lingering-capable app sessions left open for hours.
+LINGER_PROB = 0.35
+#: Probability per day that the user briefly stops the logger (MAOFF).
+MAOFF_PROB_PER_DAY = 0.002
+#: Median reboot delay after a kernel-initiated self-shutdown (s); the
+#: paper's Figure 2 inner histogram peaks near 80 s.
+SELF_REBOOT_MEDIAN = 78.0
+SELF_REBOOT_SIGMA = 0.55
+
+
+class UserModel:
+    """One user's interaction with one phone."""
+
+    def __init__(
+        self,
+        device: SmartPhone,
+        streams: RandomStreams,
+        campaign_end: float,
+    ) -> None:
+        self.device = device
+        self.profile = device.profile
+        self.campaign_end = campaign_end
+        self._stream: Stream = streams.stream("user")
+        #: Separate stream for the §7 report channel, so compliance
+        #: decisions never perturb the behavioural realization.
+        self._report_stream: Stream = streams.stream("user.reports")
+        self._next_user_shutdown_is_night = False
+        self._charging_overnight = False
+        self._boot_after_lowbt = False
+        self._reaction_wait: Optional[float] = None
+        #: Overrides the profile's report compliance when set (for
+        #: compliance-sweep experiments).
+        self.report_compliance_override: Optional[float] = None
+        device.boot_listeners.append(self._on_boot)
+        device.shutdown_listeners.append(self._on_shutdown)
+        device.freeze_listeners.append(self._on_freeze)
+        # Exposed for analysis validation.
+        self.night_shutdowns = 0
+        self.day_reboots = 0
+        self.battery_pulls = 0
+        self.reaction_reboots = 0
+        self.misbehaviors_perceived = 0
+        self.reports_filed = 0
+        self.reports_forgotten = 0
+
+    # -- enrollment -------------------------------------------------------------
+
+    def enroll(self, time: float) -> None:
+        """Schedule the first boot (logger installation) at ``time``."""
+        self.device.sim.schedule_at(time, self._boot_phone)
+
+    # -- clock helpers -----------------------------------------------------------
+
+    def _wake_time(self, day: int) -> float:
+        return day * DAY + self.profile.wake_hour * HOUR
+
+    def _sleep_time(self, day: int) -> float:
+        return day * DAY + self.profile.sleep_hour * HOUR
+
+    def _next_sleep_after(self, t: float) -> float:
+        day = int(t // DAY)
+        sleep = self._sleep_time(day)
+        if sleep <= t:
+            sleep = self._sleep_time(day + 1)
+        return sleep
+
+    def _next_wake_after(self, t: float) -> float:
+        day = int(t // DAY)
+        wake = self._wake_time(day)
+        if wake <= t:
+            wake = self._wake_time(day + 1)
+        return wake
+
+    def _is_waking(self, t: float) -> bool:
+        day = int(t // DAY)
+        in_today = self._wake_time(day) <= t < self._sleep_time(day)
+        # sleep_hour may exceed 24: the previous day's waking window can
+        # spill past midnight.
+        spill = t < self._sleep_time(day - 1)
+        return in_today or spill
+
+    # -- misbehavior reaction ------------------------------------------------------
+
+    #: Given perceived misbehavior, probability the user power-cycles.
+    REBOOT_SHARE = 0.30
+
+    def perceive_misbehavior(self) -> None:
+        """The user notices an output failure (wrong volume, an app
+        silently gone, stale display...).  Three outcomes, per the §4
+        recovery taxonomy and the §7 extension:
+
+        * power-cycle and wait a while (the "reboot"+"wait" recovery);
+        * file a report through the logger's interactive channel — if
+          this user can be bothered (``profile.report_compliance``);
+        * shrug and forget — the unreliable-user problem the paper hit
+          in its Bluetooth study.
+        """
+        if self.device.state != STATE_ON:
+            return
+        self.misbehaviors_perceived += 1
+        roll = self._report_stream.random()
+        if roll < self.REBOOT_SHARE:
+            self.react_to_misbehavior()
+            return
+        compliance = (
+            self.report_compliance_override
+            if self.report_compliance_override is not None
+            else self.profile.report_compliance
+        )
+        if self._report_stream.bernoulli(compliance):
+            delay = self._report_stream.uniform(10.0, 120.0)
+            self.device.sim.schedule_after(
+                delay, self._file_report, self.device.boot_count
+            )
+        else:
+            self.reports_forgotten += 1
+
+    def _file_report(self, boot_count: int) -> None:
+        if self.device.boot_count != boot_count:
+            return
+        if self.device.report_failure(REPORT_OUTPUT_FAILURE):
+            self.reports_filed += 1
+        else:
+            self.reports_forgotten += 1
+
+    def react_to_misbehavior(self) -> None:
+        """Power-cycle in response to visible misbehavior, then *wait
+        an amount of time* before switching back on — the §4 forum
+        study's "reboot" + "wait" recovery pair.  The off-time is long
+        enough (> 360 s) that the offline filter classifies it as a
+        user shutdown, not a self-shutdown."""
+        if self.device.state != STATE_ON:
+            return
+        self.reaction_reboots += 1
+        self._next_user_shutdown_is_night = False
+        self._reaction_wait = self._stream.uniform(420.0, 1500.0)
+        self.device.graceful_shutdown(SHUTDOWN_USER)
+
+    # -- lifecycle reactions ------------------------------------------------------
+
+    def _boot_phone(self) -> None:
+        if self.device.state != STATE_OFF or self.device.sim.now >= self.campaign_end:
+            return
+        if self._boot_after_lowbt:
+            # The user charged the phone before switching it back on.
+            self._boot_after_lowbt = False
+            self.device.battery.set_level(self.device.sim.now, 0.95)
+        self.device.boot()
+
+    def _on_boot(self) -> None:
+        now = self.device.sim.now
+        boot_count = self.device.boot_count
+        sleep = self._next_sleep_after(now)
+        # Plan activities for the remaining waking time of this cycle.
+        if self._is_waking(now):
+            self._plan_window(now, min(sleep, self.campaign_end), boot_count)
+        else:
+            wake = self._next_wake_after(now)
+            if wake < min(sleep, self.campaign_end):
+                self._plan_window(wake, min(sleep, self.campaign_end), boot_count)
+        if sleep < self.campaign_end:
+            self.device.sim.schedule_at(sleep, self._on_bedtime, boot_count)
+
+    def _on_bedtime(self, boot_count: int) -> None:
+        device = self.device
+        if device.boot_count != boot_count or device.state != STATE_ON:
+            return
+        now = device.sim.now
+        wake = self._next_wake_after(now)
+        forgot_charge = self._stream.bernoulli(self.profile.forget_charge_prob)
+        if self._stream.bernoulli(self.profile.night_off_prob):
+            # Night-time power-off: the ~30000 s mode of Figure 2.
+            self.night_shutdowns += 1
+            self._next_user_shutdown_is_night = True
+            device.graceful_shutdown(SHUTDOWN_USER)
+            jitter = self._stream.normal(10 * MINUTE, 8 * MINUTE, minimum=0.0)
+            device.sim.schedule_at(wake + jitter, self._boot_phone)
+            return
+        if forgot_charge:
+            # The phone drains overnight and dies of a flat battery.
+            crossing = device.battery.time_until_shutdown_level(now)
+            if crossing is not None and now + crossing < wake:
+                device.sim.schedule_after(
+                    max(crossing, 1.0), self._lowbt_shutdown, boot_count
+                )
+        else:
+            device.battery.start_charging(now)
+            if device.os is not None:
+                device.os.sysagent.set_charging(now, True)
+            self._charging_overnight = True
+        device.sim.schedule_at(wake, self._on_wake, boot_count)
+
+    def _on_wake(self, boot_count: int) -> None:
+        device = self.device
+        if device.boot_count != boot_count or device.state != STATE_ON:
+            return
+        now = device.sim.now
+        if self._charging_overnight:
+            self._charging_overnight = False
+            device.battery.stop_charging(now)
+            if device.os is not None:
+                device.os.sysagent.set_charging(now, False)
+                device.os.sysagent.set_level(now, device.battery.level_at(now))
+        sleep = self._next_sleep_after(now)
+        self._plan_window(now, min(sleep, self.campaign_end), boot_count)
+        if sleep < self.campaign_end:
+            device.sim.schedule_at(sleep, self._on_bedtime, boot_count)
+
+    def _lowbt_shutdown(self, boot_count: int) -> None:
+        device = self.device
+        if device.boot_count != boot_count or device.state != STATE_ON:
+            return
+        now = device.sim.now
+        device.battery.set_level(now, 0.02)
+        if device.os is not None:
+            device.os.sysagent.set_level(now, 0.02)
+        device.graceful_shutdown(SHUTDOWN_LOWBT)
+
+    def _on_shutdown(self, kind: str) -> None:
+        now = self.device.sim.now
+        if now >= self.campaign_end:
+            return
+        if kind == SHUTDOWN_SELF:
+            delay = self._stream.lognormal_median(
+                SELF_REBOOT_MEDIAN, SELF_REBOOT_SIGMA
+            )
+            self.device.sim.schedule_after(delay, self._boot_phone)
+        elif kind == SHUTDOWN_USER:
+            if self._next_user_shutdown_is_night:
+                self._next_user_shutdown_is_night = False  # boot already scheduled
+            elif self._reaction_wait is not None:
+                delay = self._reaction_wait
+                self._reaction_wait = None
+                self.device.sim.schedule_after(delay, self._boot_phone)
+            else:
+                delay = self._stream.uniform(45.0, 150.0)
+                self.device.sim.schedule_after(delay, self._boot_phone)
+        elif kind == SHUTDOWN_LOWBT:
+            self._boot_after_lowbt = True
+            wake = self._next_wake_after(now)
+            jitter = self._stream.normal(20 * MINUTE, 10 * MINUTE, minimum=0.0)
+            self.device.sim.schedule_at(max(wake + jitter, now + HOUR), self._boot_phone)
+        elif kind == SHUTDOWN_PULL:
+            delay = self._stream.uniform(30.0, 90.0)
+            self.device.sim.schedule_after(delay, self._boot_phone)
+        self._charging_overnight = False
+
+    def _on_freeze(self) -> None:
+        """The phone froze: the user pulls the battery — eventually."""
+        now = self.device.sim.now
+        if self._is_waking(now):
+            delay = self._stream.lognormal_median(self.profile.impatience_median, 0.6)
+        else:
+            # Frozen overnight: nobody notices until morning.
+            delay = (
+                self._next_wake_after(now)
+                - now
+                + self._stream.uniform(0.0, 30 * MINUTE)
+            )
+        self.device.sim.schedule_after(delay, self._pull_battery)
+
+    def _pull_battery(self) -> None:
+        if self.device.state != "frozen":
+            return
+        self.battery_pulls += 1
+        self.device.battery_pull()
+
+    # -- day planning ------------------------------------------------------------------
+
+    def _plan_window(self, start: float, end: float, boot_count: int) -> None:
+        """Schedule this waking window's calls, messages, and sessions."""
+        if end <= start:
+            return
+        waking = max(self.profile.waking_seconds, HOUR)
+        self._plan_arrivals(
+            start, end, waking / max(self.profile.calls_per_day, 0.05),
+            self._start_call, boot_count,
+        )
+        self._plan_arrivals(
+            start, end, waking / max(self.profile.messages_per_day, 0.05),
+            self._start_message, boot_count,
+        )
+        self._plan_arrivals(
+            start, end, waking / max(self.profile.app_sessions_per_day, 0.05),
+            self._start_app_session, boot_count,
+        )
+        fraction = (end - start) / waking
+        if self._stream.bernoulli(min(self.profile.day_reboot_prob * fraction, 1.0)):
+            when = self._stream.uniform(start, end)
+            self.device.sim.schedule_at(when, self._day_reboot, boot_count)
+        if self._stream.bernoulli(min(MAOFF_PROB_PER_DAY * fraction, 1.0)):
+            when = self._stream.uniform(start, max(end - 4 * HOUR, start + 1.0))
+            self.device.sim.schedule_at(when, self._logger_off_period, boot_count)
+
+    def _plan_arrivals(
+        self,
+        start: float,
+        end: float,
+        mean_gap: float,
+        action,
+        boot_count: int,
+    ) -> None:
+        t = start + self._stream.exponential(mean_gap)
+        while t < end:
+            self.device.sim.schedule_at(t, action, boot_count)
+            t += self._stream.exponential(mean_gap)
+
+    # -- planned actions ----------------------------------------------------------------
+
+    def _start_call(self, boot_count: int) -> None:
+        device = self.device
+        if device.boot_count != boot_count or device.state != STATE_ON:
+            return
+        duration = self._stream.lognormal_median(
+            self.profile.call_duration_median, 0.7
+        )
+        if device.begin_call(duration):
+            device.sim.schedule_after(duration, self._end_activity_call, boot_count)
+
+    def _end_activity_call(self, boot_count: int) -> None:
+        if self.device.boot_count == boot_count:
+            self.device.end_call()
+
+    def _start_message(self, boot_count: int) -> None:
+        device = self.device
+        if device.boot_count != boot_count or device.state != STATE_ON:
+            return
+        duration = self._stream.lognormal_median(
+            self.profile.message_duration_median, 0.6
+        )
+        if device.begin_message(duration):
+            device.sim.schedule_after(duration, self._end_activity_message, boot_count)
+
+    def _end_activity_message(self, boot_count: int) -> None:
+        if self.device.boot_count == boot_count:
+            self.device.end_message()
+
+    def _start_app_session(self, boot_count: int) -> None:
+        device = self.device
+        if device.boot_count != boot_count or device.state != STATE_ON:
+            return
+        app_id = self._stream.weighted_choice(popularity_weights())
+        if app_id in (TELEPHONE, MESSAGES):
+            # Those come from calls/messages; browse something else.
+            app_id = self._stream.choice(
+                [a for a in APP_CATALOG if a not in (TELEPHONE, MESSAGES)]
+            )
+        spec = APP_CATALOG[app_id]
+        if device.app_process(app_id) is not None:
+            return
+        device.open_app(app_id)
+        duration = self._stream.lognormal_median(
+            spec.median_session, spec.session_sigma
+        )
+        if spec.lingering and self._stream.bernoulli(LINGER_PROB):
+            duration = self._stream.uniform(2 * HOUR, 6 * HOUR)
+        device.sim.schedule_after(duration, self._close_app, app_id, boot_count)
+
+    def _close_app(self, app_id: str, boot_count: int) -> None:
+        if self.device.boot_count == boot_count:
+            self.device.close_app(app_id)
+
+    def _day_reboot(self, boot_count: int) -> None:
+        device = self.device
+        if device.boot_count != boot_count or device.state != STATE_ON:
+            return
+        self.day_reboots += 1
+        self._next_user_shutdown_is_night = False
+        device.graceful_shutdown(SHUTDOWN_USER)
+
+    def _logger_off_period(self, boot_count: int) -> None:
+        device = self.device
+        if device.boot_count != boot_count or device.state != STATE_ON:
+            return
+        device.stop_logger()
+        duration = self._stream.uniform(1 * HOUR, 4 * HOUR)
+        device.sim.schedule_after(duration, self._logger_back_on, boot_count)
+
+    def _logger_back_on(self, boot_count: int) -> None:
+        device = self.device
+        if device.boot_count != boot_count or device.state != STATE_ON:
+            return
+        device.restart_logger()

@@ -1,0 +1,241 @@
+"""Active objects and the active scheduler.
+
+Symbian's upper level of multitasking (§2 of the paper): *active
+objects* (AOs) run to completion, cooperatively scheduled by a
+non-preemptive, priority-ordered *active scheduler* within one thread.
+Two Table 2 panics originate here:
+
+* **E32USER-CBase 46** — a *stray signal*: the scheduler is woken for a
+  completion that matches no active AO (typically a request completed
+  on an AO that never called ``SetActive``, or a bare status).
+* **E32USER-CBase 47** — an AO's ``RunL()`` left and neither the AO's
+  ``RunError()`` nor a replaced scheduler ``Error()`` handled it; the
+  default ``CActiveScheduler::Error()`` panics.
+
+The scheduler here is a real cooperative executor: completions signal
+it, ``run_one``/``run_until_idle`` dispatch the highest-priority ready
+AO, leaves route through the error protocol.  The failure-data logger
+(:mod:`repro.logger`) is built from these AOs, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.symbian.errors import Leave, PanicRequest
+from repro.symbian.panics import E32USER_CBASE_46, E32USER_CBASE_47
+
+#: Value a pending request status holds (``KRequestPending``).
+K_REQUEST_PENDING = -2147483647
+
+# Standard AO priorities.
+PRIORITY_IDLE = -100
+PRIORITY_LOW = -20
+PRIORITY_STANDARD = 0
+PRIORITY_USER_INPUT = 10
+PRIORITY_HIGH = 20
+
+
+class TRequestStatus:
+    """Completion flag for one asynchronous request."""
+
+    __slots__ = ("value", "_pending", "_owner", "_scheduler")
+
+    def __init__(self, owner: Optional["CActive"] = None) -> None:
+        self.value = 0
+        self._pending = False
+        self._owner = owner
+        self._scheduler: Optional["CActiveScheduler"] = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether a request is outstanding on this status."""
+        return self._pending
+
+    @property
+    def completed(self) -> bool:
+        """Whether the last request has completed."""
+        return not self._pending and self.value != K_REQUEST_PENDING
+
+    def attach_scheduler(self, scheduler: "CActiveScheduler") -> None:
+        """Route completions of a bare (ownerless) status to a scheduler.
+
+        Completing such a status produces a stray signal — useful to
+        model the defect behind E32USER-CBase 46.
+        """
+        self._scheduler = scheduler
+
+    def mark_pending(self) -> None:
+        """Mark a request as issued (service side calls this)."""
+        self._pending = True
+        self.value = K_REQUEST_PENDING
+
+    def complete(self, code: int) -> None:
+        """Complete the request with ``code`` and signal the scheduler."""
+        self.value = code
+        self._pending = False
+        scheduler = None
+        if self._owner is not None:
+            scheduler = self._owner.scheduler
+        if scheduler is None:
+            scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.signal()
+
+    def __repr__(self) -> str:
+        state = "pending" if self._pending else f"value={self.value}"
+        return f"TRequestStatus({state})"
+
+
+class CActive:
+    """Base class for active objects.
+
+    Subclasses implement :meth:`run_l` (the event handler, which may
+    leave), :meth:`do_cancel`, and optionally :meth:`run_error` to
+    handle their own leaves.
+    """
+
+    def __init__(
+        self,
+        scheduler: "CActiveScheduler",
+        priority: int = PRIORITY_STANDARD,
+        name: str = "",
+    ) -> None:
+        self.scheduler = scheduler
+        self.priority = priority
+        self.name = name or type(self).__name__
+        self.i_status = TRequestStatus(owner=self)
+        self.is_active = False
+        scheduler.add(self)
+
+    # -- protocol -------------------------------------------------------
+
+    def set_active(self) -> None:
+        """Declare an outstanding request (call after issuing it)."""
+        self.is_active = True
+
+    def cancel(self) -> None:
+        """Cancel any outstanding request (``Cancel`` semantics)."""
+        if self.is_active:
+            self.do_cancel()
+            self.is_active = False
+
+    def run_l(self) -> None:
+        """Handle a completed request.  May leave."""
+        raise NotImplementedError
+
+    def do_cancel(self) -> None:
+        """Cancel the outstanding request at its service."""
+
+    def run_error(self, code: int) -> bool:
+        """Handle a leave from :meth:`run_l`.
+
+        Return ``True`` when handled; the default declines, escalating
+        to the scheduler's ``error``.
+        """
+        del code
+        return False
+
+    def __repr__(self) -> str:
+        state = "active" if self.is_active else "idle"
+        return f"{type(self).__name__}({self.name!r}, prio={self.priority}, {state})"
+
+
+class CActiveScheduler:
+    """Non-preemptive, priority-ordered dispatcher of active objects."""
+
+    def __init__(self, name: str = "sched") -> None:
+        self.name = name
+        self._actives: List[CActive] = []
+        self._signals = 0
+        self.dispatched = 0
+
+    # -- registration ----------------------------------------------------
+
+    def add(self, ao: CActive) -> None:
+        """Register an active object with this scheduler."""
+        if ao not in self._actives:
+            self._actives.append(ao)
+
+    def remove(self, ao: CActive) -> None:
+        """Deregister an active object."""
+        if ao in self._actives:
+            self._actives.remove(ao)
+
+    # -- signalling --------------------------------------------------------
+
+    def signal(self) -> None:
+        """Record one request-completion signal (thread semaphore model)."""
+        self._signals += 1
+
+    @property
+    def pending_signals(self) -> int:
+        return self._signals
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run_one(self) -> bool:
+        """Consume one signal and dispatch the matching active object.
+
+        Returns ``False`` when no signal is pending.  Panics
+        E32USER-CBase 46 when the signal matches no active+completed AO
+        (a stray signal).  A leave from ``RunL`` goes to the AO's
+        ``run_error``; unhandled leaves reach :meth:`error`, whose
+        default panics E32USER-CBase 47.
+        """
+        if self._signals == 0:
+            return False
+        self._signals -= 1
+        ao = self._find_ready()
+        if ao is None:
+            raise PanicRequest(
+                E32USER_CBASE_46, f"stray signal in scheduler {self.name!r}"
+            )
+        ao.is_active = False
+        self.dispatched += 1
+        try:
+            ao.run_l()
+        except Leave as leave:
+            if not ao.run_error(leave.code):
+                self.error(leave.code, ao)
+        return True
+
+    def run_until_idle(self, max_dispatches: int = 10_000) -> int:
+        """Dispatch until no signals remain; returns dispatch count.
+
+        ``max_dispatches`` guards against a self-reposting AO looping
+        forever in tests.
+        """
+        count = 0
+        while self._signals and count < max_dispatches:
+            if not self.run_one():
+                break
+            count += 1
+        return count
+
+    def error(self, code: int, ao: Optional[CActive] = None) -> None:
+        """Scheduler-level leave handler.
+
+        The default behaviour — like ``CActiveScheduler::Error()`` —
+        panics E32USER-CBase 47.  Applications replace this in a
+        subclass.
+        """
+        where = f" from {ao.name!r}" if ao is not None else ""
+        raise PanicRequest(
+            E32USER_CBASE_47, f"unhandled leave {code}{where} reached Error()"
+        )
+
+    def _find_ready(self) -> Optional[CActive]:
+        """Highest-priority active object with a completed request."""
+        best: Optional[CActive] = None
+        for ao in self._actives:
+            if ao.is_active and ao.i_status.completed:
+                if best is None or ao.priority > best.priority:
+                    best = ao
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"CActiveScheduler({self.name!r}, aos={len(self._actives)}, "
+            f"signals={self._signals})"
+        )

@@ -1,0 +1,279 @@
+"""Mini application framework — the sources of the application panics.
+
+The paper's Table 2 includes five panic categories raised not by the
+kernel but by application-framework components.  Each component here is
+a small but genuine state machine whose guards raise those panics:
+
+* :class:`ListBox`      — EIKON-LISTBOX 3 (no view defined) and
+  EIKON-LISTBOX 5 (invalid current item index);
+* :class:`Edwin`        — EIKCOCTL 70 (corrupt inline-editing state);
+* :class:`AudioClient`  — MMFAudioClient 4 (``SetVolume`` argument >= 10);
+* :class:`MsgsClient`   — MSGS Client 3 (failed to write the reply into
+  the client's asynchronous call descriptor);
+* :class:`PhoneApp`     — Phone.app 2 (undocumented in Symbian; modelled
+  as an illegal call-state transition inside the core telephony app).
+
+Figure 5a of the paper shows the first three never escalate to a
+high-level event (the kernel just terminates the offender), while
+Phone.app and MSGS Client — hosted by system-critical processes —
+always reboot the phone.  That split falls out of process criticality
+in :mod:`repro.symbian.kernel`, not out of anything here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.symbian.descriptors import TDes16, TDesC16
+from repro.symbian.errors import KERR_NONE, PanicRequest
+from repro.symbian.panics import (
+    EIKCOCTL_70,
+    EIKON_LISTBOX_3,
+    EIKON_LISTBOX_5,
+    MMF_AUDIO_CLIENT_4,
+    MSGS_CLIENT_3,
+    PHONE_APP_2,
+)
+
+#: Maximum legal volume for the media framework audio client.
+MAX_VOLUME = 10
+
+
+class ListBoxView:
+    """The view a listbox draws through."""
+
+    def __init__(self, height: int = 8) -> None:
+        if height <= 0:
+            raise ValueError(f"view height must be positive, got {height}")
+        self.height = height
+        self.drawn_items: List[str] = []
+
+
+class ListBox:
+    """Eikon listbox: items, a current index, and an optional view."""
+
+    def __init__(self) -> None:
+        self._items: List[str] = []
+        self._current = -1
+        self._view: Optional[ListBoxView] = None
+
+    def set_view(self, view: ListBoxView) -> None:
+        self._view = view
+
+    def set_items(self, items: List[str]) -> None:
+        """Replace the item array; resets the current index."""
+        self._items = list(items)
+        self._current = 0 if self._items else -1
+
+    def item_count(self) -> int:
+        return len(self._items)
+
+    def current_item_index(self) -> int:
+        return self._current
+
+    def set_current_item_index(self, index: int) -> None:
+        """Select an item; panics EIKON-LISTBOX 5 on an invalid index."""
+        if index < 0 or index >= len(self._items):
+            raise PanicRequest(
+                EIKON_LISTBOX_5,
+                f"invalid current item index {index} "
+                f"(item count {len(self._items)})",
+            )
+        self._current = index
+
+    def draw(self) -> List[str]:
+        """Render visible items; panics EIKON-LISTBOX 3 without a view."""
+        if self._view is None:
+            raise PanicRequest(EIKON_LISTBOX_3, "listbox used with no view defined")
+        first = max(self._current, 0)
+        visible = self._items[first : first + self._view.height]
+        self._view.drawn_items = list(visible)
+        return visible
+
+
+class Edwin:
+    """Editor window with inline (in-place) editing state.
+
+    The legal lifecycle is ``begin_inline_edit -> update_inline_text* ->
+    (commit|cancel)_inline_edit``.  Any out-of-order transition is the
+    "corrupt edwin state for inline editing" defect -> EIKCOCTL 70.
+    """
+
+    def __init__(self, max_length: int = 160) -> None:
+        self.text = TDes16(max_length)
+        self._inline_start: Optional[int] = None
+        self._inline_length = 0
+
+    @property
+    def inline_editing(self) -> bool:
+        return self._inline_start is not None
+
+    def begin_inline_edit(self) -> None:
+        if self._inline_start is not None:
+            raise PanicRequest(
+                EIKCOCTL_70, "inline edit started while one is in progress"
+            )
+        self._inline_start = self.text.length()
+        self._inline_length = 0
+
+    def update_inline_text(self, fragment: str) -> None:
+        """Replace the inline span with ``fragment`` (predictive input)."""
+        if self._inline_start is None:
+            raise PanicRequest(EIKCOCTL_70, "inline update with no edit in progress")
+        self._validate_inline_span()
+        self.text.replace(self._inline_start, self._inline_length, fragment)
+        self._inline_length = len(fragment)
+
+    def commit_inline_edit(self) -> None:
+        if self._inline_start is None:
+            raise PanicRequest(EIKCOCTL_70, "inline commit with no edit in progress")
+        self._inline_start = None
+        self._inline_length = 0
+
+    def cancel_inline_edit(self) -> None:
+        if self._inline_start is None:
+            raise PanicRequest(EIKCOCTL_70, "inline cancel with no edit in progress")
+        self.text.delete(self._inline_start, self._inline_length)
+        self._inline_start = None
+        self._inline_length = 0
+
+    def corrupt_inline_state(self) -> None:
+        """Model the field defect: the inline span no longer lies inside
+        the text (an editor/engine desynchronization)."""
+        self._inline_start = self.text.length() + 64
+        self._inline_length = 8
+
+    def _validate_inline_span(self) -> None:
+        """Edwin's own consistency check on the inline span."""
+        assert self._inline_start is not None
+        if self._inline_start + self._inline_length > self.text.length():
+            span = (self._inline_start, self._inline_length)
+            self._inline_start = None
+            self._inline_length = 0
+            raise PanicRequest(
+                EIKCOCTL_70,
+                f"corrupt edwin state: inline span {span} outside text of "
+                f"length {self.text.length()}",
+            )
+
+
+class AudioClient:
+    """Media-framework audio client (``CMdaAudioPlayerUtility``-ish)."""
+
+    def __init__(self) -> None:
+        self._volume = 5
+        self.playing = False
+
+    @property
+    def volume(self) -> int:
+        return self._volume
+
+    def set_volume(self, volume: int) -> None:
+        """Set playback volume; panics MMFAudioClient 4 when >= 10.
+
+        The paper's Table 2: "it appears when the TInt value passed to
+        SetVolume(TInt) gets 10 or more".
+        """
+        if volume >= MAX_VOLUME:
+            raise PanicRequest(
+                MMF_AUDIO_CLIENT_4, f"SetVolume({volume}) with maximum {MAX_VOLUME}"
+            )
+        self._volume = max(volume, 0)
+
+    def play(self) -> None:
+        self.playing = True
+
+    def stop(self) -> None:
+        self.playing = False
+
+
+class MsgsClient:
+    """Messaging-server client session.
+
+    ``fetch_message`` writes the message body back into the descriptor
+    the client supplied with its asynchronous call.  When the write
+    fails (the descriptor cannot hold the data), the session panics
+    with MSGS Client 3 — "failed to write data into asynchronous call
+    descriptor to be passed back to client".
+    """
+
+    def __init__(self) -> None:
+        self._store: List[str] = []
+
+    def store_message(self, body: str) -> int:
+        """Server-side: store a message, returning its index."""
+        self._store.append(body)
+        return len(self._store) - 1
+
+    @property
+    def message_count(self) -> int:
+        return len(self._store)
+
+    def fetch_message(self, index: int, target: TDes16) -> int:
+        """Write message ``index`` into ``target``; KErrNone on success."""
+        if index < 0 or index >= len(self._store):
+            return -1  # KErrNotFound
+        body = self._store[index]
+        try:
+            target.copy(TDesC16(body))
+        except PanicRequest as failure:
+            # The server-side write-back failed; re-present it as the
+            # messaging client's own panic, as observed in the field.
+            raise PanicRequest(
+                MSGS_CLIENT_3,
+                f"write-back of {len(body)} chars into descriptor of max "
+                f"{target.max_length()} failed",
+            ) from failure
+        return KERR_NONE
+
+
+# Legal transitions of the telephony call state machine.
+_PHONE_TRANSITIONS = {
+    "idle": {"dialling", "ringing"},
+    "dialling": {"connected", "idle"},
+    "ringing": {"connected", "idle"},
+    "connected": {"idle"},
+}
+
+
+class PhoneApp:
+    """Core telephony application state machine.
+
+    Phone.app panics are undocumented in the Symbian literature; the
+    paper could only record them.  We model type 2 as an illegal call
+    state transition — consistent with the paper's observation that the
+    panic appears while a message is sent/received, i.e. when another
+    real-time activity races the telephony state.
+    """
+
+    def __init__(self) -> None:
+        self.state = "idle"
+        self.calls_completed = 0
+
+    def reset(self) -> None:
+        """Tear the call state down to idle (call dropped by a fault)."""
+        self.state = "idle"
+
+    def transition(self, new_state: str) -> None:
+        """Move the call state machine; illegal moves panic Phone.app 2."""
+        allowed = _PHONE_TRANSITIONS.get(self.state)
+        if allowed is None or new_state not in allowed:
+            raise PanicRequest(
+                PHONE_APP_2,
+                f"illegal call state transition {self.state!r} -> {new_state!r}",
+            )
+        if self.state == "connected" and new_state == "idle":
+            self.calls_completed += 1
+        self.state = new_state
+
+    def dial(self) -> None:
+        self.transition("dialling")
+
+    def incoming(self) -> None:
+        self.transition("ringing")
+
+    def answer(self) -> None:
+        self.transition("connected")
+
+    def hang_up(self) -> None:
+        self.transition("idle")

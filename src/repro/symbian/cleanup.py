@@ -1,0 +1,159 @@
+"""Cleanup stack, TRAP/Leave, and two-phase construction.
+
+Symbian's answer to exceptions on a memory-constrained device (§2 of
+the paper): a *leave* unwinds to the nearest TRAP harness, and the OS
+frees every object pushed onto the *cleanup stack* inside the trap
+block, so partially constructed state never leaks.  The paper's
+E32USER-CBase 69 panic fires when the cleanup stack is used with no
+trap harness installed (``CTrapCleanup::New()`` never called).
+
+The model implements the real discipline:
+
+* :class:`CTrapCleanup` must exist per thread before any cleanup use;
+* :func:`trap` marks a level; a :class:`~repro.symbian.errors.Leave`
+  raised inside pops-and-destroys everything above the mark and yields
+  the leave code to the caller;
+* :func:`two_phase_new` implements ``NewL``-style construction where a
+  leave during the second phase destroys the half-built object.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.symbian.errors import Leave, PanicRequest
+from repro.symbian.panics import E32USER_CBASE_69
+
+
+class TrapResult:
+    """Outcome of a :func:`trap` block: ``code == 0`` means no leave."""
+
+    __slots__ = ("code",)
+
+    def __init__(self) -> None:
+        self.code = 0
+
+    @property
+    def left(self) -> bool:
+        """Whether the trapped block left."""
+        return self.code != 0
+
+    def __repr__(self) -> str:
+        return f"TrapResult(code={self.code})"
+
+
+class CTrapCleanup:
+    """Per-thread cleanup stack plus trap-level bookkeeping.
+
+    Mirrors ``CTrapCleanup::New()``: a thread that wants to use the
+    cleanup stack or leave must create one first.
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Any] = []
+        self._trap_marks: List[int] = []
+
+    # -- cleanup-stack primitives --------------------------------------
+
+    def push(self, item: Any) -> None:
+        """Push an object for destruction if a leave happens.
+
+        Panics E32USER-CBase 69 when no trap harness is installed —
+        there would be nothing to unwind to.
+        """
+        if not self._trap_marks:
+            raise PanicRequest(
+                E32USER_CBASE_69, "cleanup stack used outside any TRAP harness"
+            )
+        self._items.append(item)
+
+    def pop(self, count: int = 1) -> None:
+        """Pop ``count`` items without destroying them."""
+        self._check_pop(count)
+        del self._items[len(self._items) - count :]
+
+    def pop_and_destroy(self, count: int = 1) -> None:
+        """Pop ``count`` items, destroying each (LIFO order)."""
+        self._check_pop(count)
+        for _ in range(count):
+            _destroy(self._items.pop())
+
+    @property
+    def depth(self) -> int:
+        """Number of items currently on the cleanup stack."""
+        return len(self._items)
+
+    @property
+    def trap_depth(self) -> int:
+        """Number of nested trap harnesses currently installed."""
+        return len(self._trap_marks)
+
+    # -- trap harness ---------------------------------------------------
+
+    @contextmanager
+    def trap(self) -> Iterator[TrapResult]:
+        """TRAP harness: catches a leave, unwinding the cleanup stack.
+
+        Usage::
+
+            with cleanup.trap() as result:
+                risky_operation_l()
+            if result.left:
+                handle(result.code)
+        """
+        mark = len(self._items)
+        self._trap_marks.append(mark)
+        result = TrapResult()
+        try:
+            yield result
+        except Leave as leave:
+            result.code = leave.code
+            while len(self._items) > mark:
+                _destroy(self._items.pop())
+        finally:
+            self._trap_marks.pop()
+
+    def leave(self, code: int) -> None:
+        """``User::Leave`` — panics E32USER-CBase 69 with no trap installed."""
+        if not self._trap_marks:
+            raise PanicRequest(
+                E32USER_CBASE_69, f"leave({code}) with no trap handler installed"
+            )
+        raise Leave(code)
+
+    def _check_pop(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"pop count must be non-negative, got {count}")
+        if count > len(self._items):
+            raise PanicRequest(
+                E32USER_CBASE_69,
+                f"pop({count}) underflows cleanup stack of depth {len(self._items)}",
+            )
+
+
+def _destroy(item: Any) -> None:
+    """Invoke an item's destructor if it has one."""
+    destructor: Optional[Callable[[], None]] = getattr(item, "destruct", None)
+    if callable(destructor):
+        destructor()
+
+
+def two_phase_new(
+    cleanup: CTrapCleanup,
+    first_phase: Callable[[], Any],
+    second_phase_name: str = "construct_l",
+) -> Any:
+    """Two-phase construction (``NewL`` idiom).
+
+    Phase one must not leave (plain allocation); the half-built object
+    is pushed on the cleanup stack; phase two (``construct_l``) may
+    leave, in which case the trap unwind destroys the object.  On
+    success the object is popped and returned fully built.
+    """
+    obj = first_phase()
+    cleanup.push(obj)
+    second_phase = getattr(obj, second_phase_name)
+    second_phase()
+    cleanup.pop()
+    return obj

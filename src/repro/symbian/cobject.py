@@ -1,0 +1,109 @@
+"""Reference-counted kernel-side objects (``CObject``).
+
+The paper's Table 2 shows E32USER-CBase 33 — deleting a ``CObject``
+whose reference count is not zero — at 5.56% of field panics.  The
+model keeps the real discipline: ``open_ref``/``close`` manage the
+count, ``close`` self-deletes at zero, and a direct ``delete`` with a
+non-zero count panics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.symbian.errors import PanicRequest
+from repro.symbian.panics import E32USER_CBASE_33
+
+
+class CObject:
+    """A reference-counted object with Symbian delete semantics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._access_count = 1
+        self._deleted = False
+
+    @property
+    def access_count(self) -> int:
+        """Current reference count."""
+        return self._access_count
+
+    @property
+    def deleted(self) -> bool:
+        """Whether the object has been destroyed."""
+        return self._deleted
+
+    def open_ref(self) -> None:
+        """Take an additional reference (``CObject::Open``)."""
+        self._ensure_live("Open")
+        self._access_count += 1
+
+    def close(self) -> None:
+        """Release one reference; self-deletes when the count hits zero."""
+        self._ensure_live("Close")
+        self._access_count -= 1
+        if self._access_count == 0:
+            self._deleted = True
+            self.on_delete()
+
+    def delete(self) -> None:
+        """Destroy the object directly (``delete obj`` in C++).
+
+        Panics E32USER-CBase 33 if references are still outstanding —
+        the count must have been driven to zero via ``close`` first, or
+        be exactly one (the creating reference) for direct deletion.
+        """
+        self._ensure_live("delete")
+        if self._access_count > 1:
+            raise PanicRequest(
+                E32USER_CBASE_33,
+                f"delete of {self.name or 'CObject'} with access count "
+                f"{self._access_count}",
+            )
+        self._access_count = 0
+        self._deleted = True
+        self.on_delete()
+
+    def on_delete(self) -> None:
+        """Destructor hook for subclasses."""
+
+    def _ensure_live(self, op: str) -> None:
+        if self._deleted:
+            raise PanicRequest(
+                E32USER_CBASE_33, f"{op} on already-deleted {self.name or 'CObject'}"
+            )
+
+    def __repr__(self) -> str:
+        state = "deleted" if self._deleted else f"refs={self._access_count}"
+        return f"CObject({self.name!r}, {state})"
+
+
+class CObjectCon:
+    """A container of CObjects (``CObjectCon``), used by object indexes."""
+
+    def __init__(self) -> None:
+        self._objects: List[CObject] = []
+
+    def add(self, obj: CObject) -> None:
+        """Add an object to the container."""
+        if obj.deleted:
+            raise ValueError(f"cannot add deleted object {obj!r}")
+        self._objects.append(obj)
+
+    def remove(self, obj: CObject) -> None:
+        """Remove an object (does not close it)."""
+        self._objects.remove(obj)
+
+    def find_by_name(self, name: str) -> Optional[CObject]:
+        """First live object with the given name, or ``None``."""
+        for obj in self._objects:
+            if obj.name == name and not obj.deleted:
+                return obj
+        return None
+
+    @property
+    def count(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self):
+        return iter(self._objects)

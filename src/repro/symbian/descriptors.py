@@ -1,0 +1,224 @@
+"""16-bit descriptors with Symbian's USER panic semantics.
+
+Descriptors are Symbian's bounds-checked string/buffer abstraction.
+Two of the paper's Table 2 panics come from their guards:
+
+* **USER 10** — a position argument out of bounds (``Left()``,
+  ``Right()``, ``Mid()``, ``Insert()``, ``Delete()``, ``Replace()``).
+* **USER 11** — an operation that would grow the descriptor past its
+  maximum length (copy/append/format/``Insert()``/``Replace()``/
+  ``Fill()``/``ZeroTerminate()``/``SetLength()``).
+
+The implementation is a genuine bounded text buffer — application
+models in :mod:`repro.symbian.appfw` use it for real message payloads —
+so the panics fire from the same checks that legitimate use relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.symbian.errors import PanicRequest
+from repro.symbian.panics import USER_10, USER_11
+
+TextLike = Union[str, "TDesC16"]
+
+
+def _text_of(source: TextLike) -> str:
+    if isinstance(source, TDesC16):
+        return source.as_str()
+    return source
+
+
+class TDesC16:
+    """Constant (read-only) 16-bit descriptor interface."""
+
+    def __init__(self, text: str = "") -> None:
+        self._chars: List[str] = list(text)
+
+    # -- observers ----------------------------------------------------
+
+    def length(self) -> int:
+        """Current number of characters."""
+        return len(self._chars)
+
+    def as_str(self) -> str:
+        """Python string copy of the content."""
+        return "".join(self._chars)
+
+    def at(self, position: int) -> str:
+        """Character at ``position``; panics USER 10 when out of bounds."""
+        self._check_position(position, allow_end=False, op="At")
+        return self._chars[position]
+
+    def left(self, count: int) -> "TDesC16":
+        """Leftmost ``count`` characters; panics USER 10 if ``count`` exceeds the length."""
+        self._check_position(count, allow_end=True, op="Left")
+        return TDesC16("".join(self._chars[:count]))
+
+    def right(self, count: int) -> "TDesC16":
+        """Rightmost ``count`` characters; panics USER 10 if out of range."""
+        self._check_position(count, allow_end=True, op="Right")
+        if count == 0:
+            return TDesC16("")
+        return TDesC16("".join(self._chars[-count:]))
+
+    def mid(self, position: int, count: int = -1) -> "TDesC16":
+        """Substring from ``position``; panics USER 10 if out of range."""
+        self._check_position(position, allow_end=True, op="Mid")
+        if count < 0:
+            return TDesC16("".join(self._chars[position:]))
+        if position + count > len(self._chars):
+            raise PanicRequest(
+                USER_10, f"Mid({position}, {count}) beyond length {len(self._chars)}"
+            )
+        return TDesC16("".join(self._chars[position : position + count]))
+
+    def compare(self, other: TextLike) -> int:
+        """Three-way comparison as ``TDesC16::Compare``."""
+        mine, theirs = self.as_str(), _text_of(other)
+        if mine < theirs:
+            return -1
+        if mine > theirs:
+            return 1
+        return 0
+
+    def find(self, needle: TextLike) -> int:
+        """Offset of ``needle`` or ``-1`` (``KErrNotFound``)."""
+        return self.as_str().find(_text_of(needle))
+
+    # -- helpers ------------------------------------------------------
+
+    def _check_position(self, position: int, allow_end: bool, op: str) -> None:
+        limit = len(self._chars) if allow_end else len(self._chars) - 1
+        if position < 0 or position > limit:
+            raise PanicRequest(
+                USER_10,
+                f"{op} position {position} out of bounds (length {len(self._chars)})",
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TDesC16):
+            return self.as_str() == other.as_str()
+        if isinstance(other, str):
+            return self.as_str() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.as_str())
+
+    def __len__(self) -> int:
+        return len(self._chars)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.as_str()!r})"
+
+
+class TDes16(TDesC16):
+    """Modifiable 16-bit descriptor with a fixed maximum length."""
+
+    def __init__(self, max_length: int, text: str = "") -> None:
+        if max_length < 0:
+            raise ValueError(f"max_length must be non-negative, got {max_length}")
+        if len(text) > max_length:
+            raise PanicRequest(
+                USER_11, f"initial text length {len(text)} > max {max_length}"
+            )
+        super().__init__(text)
+        self._max_length = max_length
+
+    def max_length(self) -> int:
+        """Maximum number of characters the descriptor can hold."""
+        return self._max_length
+
+    # -- growth guard -------------------------------------------------
+
+    def _check_capacity(self, new_length: int, op: str) -> None:
+        if new_length > self._max_length:
+            raise PanicRequest(
+                USER_11,
+                f"{op} would grow descriptor to {new_length} > max {self._max_length}",
+            )
+
+    # -- mutators -----------------------------------------------------
+
+    def copy(self, source: TextLike) -> None:
+        """Replace the whole content; panics USER 11 on overflow."""
+        text = _text_of(source)
+        self._check_capacity(len(text), "Copy")
+        self._chars = list(text)
+
+    def append(self, source: TextLike) -> None:
+        """Append; panics USER 11 on overflow."""
+        text = _text_of(source)
+        self._check_capacity(len(self._chars) + len(text), "Append")
+        self._chars.extend(text)
+
+    def insert(self, position: int, source: TextLike) -> None:
+        """Insert at ``position``; USER 10 for a bad position, USER 11 for overflow."""
+        self._check_position(position, allow_end=True, op="Insert")
+        text = _text_of(source)
+        self._check_capacity(len(self._chars) + len(text), "Insert")
+        self._chars[position:position] = list(text)
+
+    def delete(self, position: int, count: int) -> None:
+        """Delete ``count`` characters from ``position``; USER 10 on bad position."""
+        self._check_position(position, allow_end=True, op="Delete")
+        # Real Delete clamps the count to the end of the data.
+        del self._chars[position : position + max(count, 0)]
+
+    def replace(self, position: int, count: int, source: TextLike) -> None:
+        """Replace a range; USER 10 for bad range, USER 11 for overflow."""
+        self._check_position(position, allow_end=True, op="Replace")
+        if count < 0 or position + count > len(self._chars):
+            raise PanicRequest(
+                USER_10,
+                f"Replace range {position}+{count} out of bounds "
+                f"(length {len(self._chars)})",
+            )
+        text = _text_of(source)
+        self._check_capacity(len(self._chars) - count + len(text), "Replace")
+        self._chars[position : position + count] = list(text)
+
+    def fill(self, char: str, count: int = -1) -> None:
+        """Fill with ``char``; USER 11 if ``count`` exceeds the maximum."""
+        if len(char) != 1:
+            raise ValueError("fill character must be a single character")
+        if count < 0:
+            count = len(self._chars)
+        self._check_capacity(count, "Fill")
+        self._chars = [char] * count
+
+    def fill_z(self, count: int = -1) -> None:
+        """Fill with NUL characters (``Fillz``); USER 11 on overflow."""
+        self.fill("\x00", count)
+
+    def set_length(self, length: int) -> None:
+        """Set the reported length; USER 11 beyond the maximum.
+
+        Growing exposes NUL padding, matching the "uninitialized tail"
+        behaviour of the real call closely enough for the model.
+        """
+        if length < 0:
+            raise PanicRequest(USER_10, f"SetLength({length}) negative")
+        self._check_capacity(length, "SetLength")
+        if length <= len(self._chars):
+            del self._chars[length:]
+        else:
+            self._chars.extend("\x00" * (length - len(self._chars)))
+
+    def zero(self) -> None:
+        """Empty the descriptor (``Zero``)."""
+        self._chars = []
+
+    def zero_terminate(self) -> None:
+        """Append a NUL; panics USER 11 when already at maximum length."""
+        self._check_capacity(len(self._chars) + 1, "ZeroTerminate")
+        self._chars.append("\x00")
+
+    def __repr__(self) -> str:
+        return f"TDes16(max={self._max_length}, {self.as_str()!r})"
+
+
+class TBuf16(TDes16):
+    """Stack-style fixed buffer — alias kept for API familiarity."""

@@ -1,0 +1,121 @@
+"""Fault and control-flow exceptions of the Symbian substrate.
+
+These are *modelled OS behaviours*, not library errors, so they live
+outside the :class:`repro.core.errors.ReproError` hierarchy on purpose:
+catching "everything the library raises" should not swallow a simulated
+access violation.
+"""
+
+from __future__ import annotations
+
+# Symbian system-wide error codes (the subset the substrate uses).
+KERR_NONE = 0
+KERR_NOT_FOUND = -1
+KERR_GENERAL = -2
+KERR_NO_MEMORY = -4
+KERR_NOT_SUPPORTED = -5
+KERR_ARGUMENT = -6
+KERR_OVERFLOW = -9
+KERR_IN_USE = -14
+KERR_SERVER_TERMINATED = -15
+KERR_DIED = -13
+KERR_BAD_HANDLE = -8
+
+
+_ERROR_NAMES = {
+    KERR_NONE: "KErrNone",
+    KERR_NOT_FOUND: "KErrNotFound",
+    KERR_GENERAL: "KErrGeneral",
+    KERR_NO_MEMORY: "KErrNoMemory",
+    KERR_NOT_SUPPORTED: "KErrNotSupported",
+    KERR_ARGUMENT: "KErrArgument",
+    KERR_OVERFLOW: "KErrOverflow",
+    KERR_IN_USE: "KErrInUse",
+    KERR_SERVER_TERMINATED: "KErrServerTerminated",
+    KERR_DIED: "KErrDied",
+    KERR_BAD_HANDLE: "KErrBadHandle",
+    -3: "KErrCancel",
+}
+
+
+def error_name(code: int) -> str:
+    """Symbolic name of a system error code (``'KErrUnknown(<n>)'`` for
+    codes outside the modelled subset)."""
+    name = _ERROR_NAMES.get(code)
+    if name is None:
+        return f"KErrUnknown({code})"
+    return name
+
+
+class SymbianFault(Exception):
+    """Base class for hardware/kernel-detected fault conditions."""
+
+
+class AccessViolation(SymbianFault):
+    """An invalid memory access (null dereference, unmapped address...).
+
+    The kernel executive translates this into a KERN-EXEC 3 panic, the
+    dominant panic type in the paper (56.31% of all panics).
+    """
+
+    def __init__(self, address: int, operation: str = "read") -> None:
+        super().__init__(f"access violation: {operation} at 0x{address:08x}")
+        self.address = address
+        self.operation = operation
+
+
+class BadHandle(SymbianFault):
+    """A handle number with no object in the object index (KERN-EXEC 0)."""
+
+    def __init__(self, handle: int) -> None:
+        super().__init__(f"no object for handle {handle}")
+        self.handle = handle
+
+
+class Leave(Exception):
+    """Symbian's ``User::Leave`` — the OS-level exception mechanism.
+
+    A leave unwinds to the closest TRAP harness, which frees everything
+    pushed onto the cleanup stack inside the trap block.  Leaving with
+    no trap handler installed is a programming error that panics the
+    thread with E32USER-CBase 69.
+    """
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"leave with code {code}")
+        self.code = code
+
+
+class PanicRequest(SymbianFault):
+    """A user-side guard decided the current thread must panic.
+
+    Raised by substrate components that panic in the context of the
+    offending thread on real Symbian (descriptors, the cleanup stack,
+    the active scheduler, application-framework controls).  The kernel
+    executive converts it into the actual panic, with notification and
+    recovery.
+    """
+
+    def __init__(self, panic_id, reason: str = "") -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"panic request {panic_id}{detail}")
+        self.panic_id = panic_id
+        self.reason = reason
+
+
+class PanicRaised(Exception):
+    """Raised by the kernel when a thread panics.
+
+    Carries the :class:`~repro.symbian.panics.PanicId` so substrate
+    callers (the fault injector, tests) can observe which panic fired.
+    The kernel has already performed its recovery action (thread
+    termination, possibly a system reboot request) by the time this
+    propagates.
+    """
+
+    def __init__(self, panic_id, process_name: str, reason: str = "") -> None:
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"{panic_id} in {process_name}{detail}")
+        self.panic_id = panic_id
+        self.process_name = process_name
+        self.reason = reason

@@ -1,0 +1,194 @@
+"""The file server (``RFs`` / ``RFile``) — where log files live.
+
+Symbian's files are served by a central file-server process; clients
+hold an ``RFs`` session and per-file ``RFile`` subsessions.  The model
+implements the subset the failure study touches:
+
+* session/subsession lifecycle with real handle accounting (a corrupt
+  subsession handle takes the same KERN-EXEC 0 / KERN-SVR 0 paths as
+  any other handle misuse);
+* exclusive-write sharing (``KErrInUse`` on a second writer — the
+  reason the paper's logger funnels every stream through one daemon);
+* append/read/size plus ``flush``: data is durable only once flushed,
+  so a power cut mid-write leaves a truncated tail — the mechanism
+  behind the corruption tolerance of the offline log parser.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.symbian.errors import (
+    KERR_IN_USE,
+    KERR_NONE,
+    KERR_NOT_FOUND,
+)
+from repro.symbian.handles import ObjectIndex
+
+#: Share modes.
+SHARE_EXCLUSIVE = "exclusive"
+SHARE_READERS = "readers"
+
+
+class _FileEntry:
+    """Server-side state of one file."""
+
+    __slots__ = ("name", "committed", "pending", "writer_open", "readers")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Durable content (survives power cuts).
+        self.committed: str = ""
+        #: Written but not yet flushed (lost on power cut).
+        self.pending: str = ""
+        self.writer_open = False
+        self.readers = 0
+
+
+class RFile:
+    """A file subsession."""
+
+    def __init__(self, server: "FileServer", entry: _FileEntry, writable: bool) -> None:
+        self._server = server
+        self._entry = entry
+        self._writable = writable
+        self._open = True
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def write(self, data: str) -> int:
+        """Append ``data``; buffered until :meth:`flush`."""
+        self._require_open()
+        if not self._writable:
+            return KERR_NOT_FOUND  # read-only subsession
+        self._entry.pending += data
+        return KERR_NONE
+
+    def flush(self) -> int:
+        """Commit buffered data to durable storage."""
+        self._require_open()
+        self._entry.committed += self._entry.pending
+        self._entry.pending = ""
+        return KERR_NONE
+
+    def size(self) -> int:
+        """Durable plus pending size, as the running system sees it."""
+        self._require_open()
+        return len(self._entry.committed) + len(self._entry.pending)
+
+    def read_all(self) -> str:
+        """Everything the running system can read (committed + pending)."""
+        self._require_open()
+        return self._entry.committed + self._entry.pending
+
+    def close(self) -> None:
+        """Release the subsession; closing twice is a no-op."""
+        if not self._open:
+            return
+        self._open = False
+        if self._writable:
+            self._entry.writer_open = False
+        else:
+            self._entry.readers -= 1
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise ValueError(f"operation on closed RFile {self._entry.name!r}")
+
+
+class RFs:
+    """A client session to the file server."""
+
+    def __init__(self, server: "FileServer") -> None:
+        self._server = server
+        self._subsessions: List[RFile] = []
+
+    def create(self, name: str) -> int:
+        """Create an empty file; ``KErrInUse`` if it already exists."""
+        return self._server._create(name)
+
+    def open_write(self, name: str) -> Optional[RFile]:
+        """Open for exclusive append; ``None`` when unavailable."""
+        subsession = self._server._open(name, writable=True)
+        if subsession is not None:
+            self._subsessions.append(subsession)
+        return subsession
+
+    def open_read(self, name: str) -> Optional[RFile]:
+        """Open for shared reading; ``None`` when the file is missing."""
+        subsession = self._server._open(name, writable=False)
+        if subsession is not None:
+            self._subsessions.append(subsession)
+        return subsession
+
+    def delete(self, name: str) -> int:
+        return self._server._delete(name)
+
+    def close(self) -> None:
+        """Close the session and every subsession it opened."""
+        for subsession in self._subsessions:
+            subsession.close()
+        self._subsessions.clear()
+
+
+class FileServer:
+    """The central file server: name space plus power-cut semantics."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, _FileEntry] = {}
+        self.object_index = ObjectIndex("efile")
+
+    def connect(self) -> RFs:
+        """Open a client session."""
+        return RFs(self)
+
+    # -- durability ---------------------------------------------------------
+
+    def power_cut(self) -> None:
+        """Abrupt power loss: unflushed data vanishes, files close."""
+        for entry in self._files.values():
+            entry.pending = ""
+            entry.writer_open = False
+            entry.readers = 0
+
+    def committed_content(self, name: str) -> Optional[str]:
+        """What would survive a power cut right now."""
+        entry = self._files.get(name)
+        return entry.committed if entry is not None else None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def file_names(self) -> List[str]:
+        return sorted(self._files)
+
+    # -- internals -------------------------------------------------------------
+
+    def _create(self, name: str) -> int:
+        if name in self._files:
+            return KERR_IN_USE
+        self._files[name] = _FileEntry(name)
+        return KERR_NONE
+
+    def _open(self, name: str, writable: bool) -> Optional[RFile]:
+        entry = self._files.get(name)
+        if entry is None:
+            return None
+        if writable:
+            if entry.writer_open:
+                return None  # KErrInUse: one writer at a time
+            entry.writer_open = True
+        else:
+            entry.readers += 1
+        return RFile(self, entry, writable)
+
+    def _delete(self, name: str) -> int:
+        entry = self._files.get(name)
+        if entry is None:
+            return KERR_NOT_FOUND
+        if entry.writer_open or entry.readers:
+            return KERR_IN_USE
+        del self._files[name]
+        return KERR_NONE

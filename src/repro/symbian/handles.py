@@ -1,0 +1,114 @@
+"""Object index and handle semantics (KERN-EXEC 0, KERN-SVR 0).
+
+Symbian user code names kernel objects through integer *handles*; the
+kernel resolves a handle through the process's *object index*.  Two of
+the paper's panics come from this machinery:
+
+* **KERN-EXEC 0** (6.31% in Table 2) — the Kernel Executive cannot find
+  an object for a raw handle number used in a request.
+* **KERN-SVR 0** (0.25%) — the Kernel Server, asked to *close* a
+  handle, cannot find the object; the most likely cause is a corrupt
+  handle.
+
+The distinction is faithful: lookups on the executive path raise
+:class:`~repro.symbian.errors.BadHandle` (converted by the kernel into
+KERN-EXEC 0), while the close path panics KERN-SVR 0 directly, exactly
+as the paper's Table 2 meanings describe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.symbian.errors import BadHandle, PanicRequest
+from repro.symbian.panics import KERN_SVR_0
+
+#: Handles start well away from zero so that arithmetic bugs that
+#: produce small integers are very likely to be invalid, as on real
+#: systems.
+FIRST_HANDLE = 0x2000
+
+
+class ObjectIndex:
+    """Per-process map from handle numbers to kernel objects."""
+
+    def __init__(self, name: str = "proc") -> None:
+        self.name = name
+        self._objects: Dict[int, Any] = {}
+        self._next_handle = FIRST_HANDLE
+
+    def add(self, obj: Any) -> int:
+        """Register an object; returns its new handle number."""
+        handle = self._next_handle
+        self._next_handle += 1
+        self._objects[handle] = obj
+        return handle
+
+    def at(self, handle: int) -> Any:
+        """Resolve a handle on the executive path.
+
+        Raises:
+            BadHandle: when no object exists for ``handle``; the kernel
+                executive converts this into a KERN-EXEC 0 panic.
+        """
+        try:
+            return self._objects[handle]
+        except KeyError:
+            raise BadHandle(handle) from None
+
+    def close(self, handle: int) -> Any:
+        """Close a handle on the Kernel Server path.
+
+        Removes and returns the object.  A missing object panics the
+        calling thread with KERN-SVR 0 (corrupt handle).
+        """
+        obj = self._objects.pop(handle, None)
+        if obj is None:
+            raise PanicRequest(
+                KERN_SVR_0, f"close of handle {handle} with no object"
+            )
+        closer = getattr(obj, "close", None)
+        if callable(closer):
+            closer()
+        return obj
+
+    def contains(self, handle: int) -> bool:
+        """Whether ``handle`` currently resolves."""
+        return handle in self._objects
+
+    @property
+    def count(self) -> int:
+        """Number of live handles."""
+        return len(self._objects)
+
+    def handles(self):
+        """Snapshot of live handle numbers."""
+        return tuple(self._objects)
+
+    def __repr__(self) -> str:
+        return f"ObjectIndex({self.name!r}, count={self.count})"
+
+
+class RHandleBase:
+    """User-side handle wrapper (``RHandleBase``)."""
+
+    def __init__(self, index: ObjectIndex, handle: int = 0) -> None:
+        self._index = index
+        self.handle = handle
+
+    def open_object(self, obj: Any) -> None:
+        """Attach to ``obj``, registering it in the object index."""
+        self.handle = self._index.add(obj)
+
+    def object(self) -> Any:
+        """Resolve the wrapped handle via the executive path."""
+        return self._index.at(self.handle)
+
+    def close(self) -> None:
+        """Close via the Kernel Server path; zeroes the stored handle.
+
+        Closing a handle twice presents the server with a number that no
+        longer resolves — the corrupt-handle scenario behind KERN-SVR 0.
+        """
+        self._index.close(self.handle)
+        self.handle = 0

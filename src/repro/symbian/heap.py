@@ -1,0 +1,177 @@
+"""RHeap-style allocator over the address-space model.
+
+Symbian gives every thread a heap with strict accounting; the paper
+attributes ~18% of field panics to heap management (the E32USER-CBase
+category).  This allocator models the mechanisms those panics come from:
+
+* cell headers with a magic word — corrupting a header makes the next
+  heap walk fail (we map walk failures to the *undocumented*
+  E32USER-CBase 91/92 pair the paper observed; see DESIGN.md),
+* alloc/free accounting — double free and foreign-pointer free are
+  detected,
+* allocation failure — ``alloc_l`` leaves with ``KErrNoMemory``, which
+  is what drives the cleanup-stack machinery in
+  :mod:`repro.symbian.cleanup`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.symbian.errors import KERR_NO_MEMORY, Leave, PanicRequest
+from repro.symbian.memory import AddressSpace, Region
+from repro.symbian.panics import E32USER_CBASE_91, E32USER_CBASE_92
+
+#: Magic word stored in every live cell header.
+CELL_MAGIC = 0x5AFE
+#: Header occupies one model word.
+HEADER_WORDS = 1
+
+
+class HeapCell:
+    """Book-keeping for one live allocation."""
+
+    __slots__ = ("address", "size")
+
+    def __init__(self, address: int, size: int) -> None:
+        self.address = address
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"HeapCell(0x{self.address:08x}, size={self.size})"
+
+
+class RHeap:
+    """A bump allocator with cell accounting and integrity checking.
+
+    ``alloc`` returns the *payload* address; the header word sits one
+    word below it.  All sizes are in model words.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        max_words: int = 64 * 1024,
+        name: str = "heap",
+    ) -> None:
+        if max_words <= HEADER_WORDS:
+            raise ValueError(f"heap too small: {max_words} words")
+        self.space = space
+        self.name = name
+        self.max_words = max_words
+        self.region: Region = space.map_region(max_words, name=name)
+        self._brk = self.region.base
+        self._cells: Dict[int, HeapCell] = {}
+        #: Segregated free lists: payload size -> reusable payload
+        #: addresses.  Freed cells are recycled exact-fit, so a
+        #: disciplined allocate/free workload runs forever in a bounded
+        #: heap — and a leaky one exhausts it, as on the real OS.
+        self._free_lists: Dict[int, list] = {}
+        self._free_words = 0
+
+    # -- allocation ---------------------------------------------------
+
+    def alloc(self, words: int) -> Optional[int]:
+        """Allocate ``words`` payload words; ``None`` when exhausted.
+
+        Exact-fit reuse from the free lists first, then bump
+        allocation from fresh space.
+        """
+        if words <= 0:
+            raise ValueError(f"allocation size must be positive, got {words}")
+        free_list = self._free_lists.get(words)
+        if free_list:
+            payload = free_list.pop()
+            self._free_words -= words + HEADER_WORDS
+            self.space.write(payload - HEADER_WORDS, CELL_MAGIC)
+            self._cells[payload] = HeapCell(payload, words)
+            return payload
+        total = words + HEADER_WORDS
+        if self._brk + total > self.region.limit:
+            return None
+        header = self._brk
+        payload = header + HEADER_WORDS
+        self._brk += total
+        self.space.write(header, CELL_MAGIC)
+        cell = HeapCell(payload, words)
+        self._cells[payload] = cell
+        return payload
+
+    def alloc_l(self, words: int) -> int:
+        """Allocate or leave with ``KErrNoMemory`` (Symbian ``AllocL``)."""
+        address = self.alloc(words)
+        if address is None:
+            raise Leave(KERR_NO_MEMORY)
+        return address
+
+    def free(self, address: int) -> None:
+        """Free a payload address.
+
+        Freeing an address the heap does not own — including a double
+        free — is the classic heap-management defect; the heap detects
+        it immediately and panics with E32USER-CBase 92 (one of the two
+        undocumented codes the paper observed in the field; our
+        assignment of 91/92 to heap-integrity failures is a documented
+        substitution, see DESIGN.md).
+        """
+        cell = self._cells.pop(address, None)
+        if cell is None:
+            raise PanicRequest(
+                E32USER_CBASE_92,
+                f"free of unowned address 0x{address:08x}",
+            )
+        self.space.write(address - HEADER_WORDS, 0)
+        self._free_words += cell.size + HEADER_WORDS
+        self._free_lists.setdefault(cell.size, []).append(address)
+
+    # -- integrity ----------------------------------------------------
+
+    def corrupt_header(self, address: int, value: int = 0xDEAD) -> None:
+        """Overwrite a live cell's header word (models a buffer underrun)."""
+        if address not in self._cells:
+            raise ValueError(f"0x{address:08x} is not a live cell")
+        self.space.write(address - HEADER_WORDS, value)
+
+    def check(self) -> None:
+        """Walk every live cell and verify its header.
+
+        Raises E32USER-CBase 91 on the first corrupt header, modelling
+        ``RHeap::Check`` finding an inconsistent heap.
+        """
+        for address in sorted(self._cells):
+            magic = self.space.read(address - HEADER_WORDS)
+            if magic != CELL_MAGIC:
+                raise PanicRequest(
+                    E32USER_CBASE_91,
+                    f"corrupt cell header at 0x{address:08x} "
+                    f"(0x{magic:04x} != 0x{CELL_MAGIC:04x})",
+                )
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def cell_count(self) -> int:
+        """Number of live cells (leak detection in tests)."""
+        return len(self._cells)
+
+    @property
+    def allocated_words(self) -> int:
+        """Live payload words."""
+        return sum(cell.size for cell in self._cells.values())
+
+    def owns(self, address: int) -> bool:
+        """Whether ``address`` is a live payload address."""
+        return address in self._cells
+
+    def cell_size(self, address: int) -> int:
+        """Payload size of a live cell."""
+        cell = self._cells.get(address)
+        if cell is None:
+            raise ValueError(f"0x{address:08x} is not a live cell")
+        return cell.size
+
+    def __repr__(self) -> str:
+        return (
+            f"RHeap({self.name!r}, cells={self.cell_count}, "
+            f"allocated={self.allocated_words}w/{self.max_words}w)"
+        )

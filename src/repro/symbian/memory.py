@@ -1,0 +1,131 @@
+"""Address-space model: the substrate behind KERN-EXEC 3.
+
+Symbian's dominant field panic (56.31% in the paper's Table 2) is
+KERN-EXEC 3 — an unhandled exception, most commonly an access violation
+from dereferencing NULL.  This module models a process address space as
+a set of mapped regions; reads and writes outside a mapped region raise
+:class:`~repro.symbian.errors.AccessViolation`, which the kernel
+executive converts into KERN-EXEC 3.
+
+The model is deliberately word-granular and sparse: it exists to make
+memory misuse *detectable through the same code path a real MMU fault
+would take*, not to emulate ARM memory timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.symbian.errors import AccessViolation
+
+#: Null and the guard page around it are never mappable, like the real OS.
+NULL = 0
+GUARD_PAGE_END = 0x1000
+
+#: Default base for heap chunk allocation (cosmetic; any base works).
+DEFAULT_CHUNK_BASE = 0x4000_0000
+
+
+class Region:
+    """A contiguous mapped range ``[base, base + size)``."""
+
+    __slots__ = ("base", "size", "name")
+
+    def __init__(self, base: int, size: int, name: str) -> None:
+        self.base = base
+        self.size = size
+        self.name = name
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.limit
+
+    def __repr__(self) -> str:
+        return f"Region({self.name!r}, 0x{self.base:08x}..0x{self.limit:08x})"
+
+
+class AddressSpace:
+    """Sparse per-process address space with word-level storage.
+
+    Mapped regions back a dictionary of word values; unmapped access
+    faults.  Region count per process is small (a few chunks), so the
+    linear region scan is not a bottleneck.
+    """
+
+    def __init__(self, name: str = "proc") -> None:
+        self.name = name
+        self._regions: List[Region] = []
+        self._words: Dict[int, int] = {}
+        self._next_base = DEFAULT_CHUNK_BASE
+
+    def map_region(self, size: int, name: str = "chunk", base: Optional[int] = None) -> Region:
+        """Map a new region and return it.
+
+        Chooses a base automatically unless one is given.  Overlapping
+        or guard-page bases are rejected with ``ValueError`` (that is a
+        simulator-usage bug, not a modelled fault).
+        """
+        if size <= 0:
+            raise ValueError(f"region size must be positive, got {size}")
+        if base is None:
+            base = self._next_base
+            self._next_base += _round_up(size, 0x1000) + 0x1000
+        if base < GUARD_PAGE_END:
+            raise ValueError("cannot map over the null guard page")
+        region = Region(base, size, name)
+        for existing in self._regions:
+            if region.base < existing.limit and existing.base < region.limit:
+                raise ValueError(f"region overlap: {region} vs {existing}")
+        self._regions.append(region)
+        return region
+
+    def unmap_region(self, region: Region) -> None:
+        """Remove a mapped region; subsequent access to it faults."""
+        self._regions.remove(region)
+        for addr in list(self._words):
+            if region.contains(addr):
+                del self._words[addr]
+
+    def region_of(self, address: int) -> Optional[Region]:
+        """The region containing ``address``, or ``None``."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def is_mapped(self, address: int) -> bool:
+        return self.region_of(address) is not None
+
+    def read(self, address: int) -> int:
+        """Read a word.  Unmapped access raises :class:`AccessViolation`."""
+        if self.region_of(address) is None:
+            raise AccessViolation(address, "read")
+        return self._words.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        """Write a word.  Unmapped access raises :class:`AccessViolation`."""
+        if self.region_of(address) is None:
+            raise AccessViolation(address, "write")
+        self._words[address] = value
+
+    def execute(self, address: int) -> None:
+        """Model an instruction fetch; unmapped address faults.
+
+        Real KERN-EXEC 3 also covers invalid-instruction and alignment
+        faults; jumping through a corrupted function pointer lands here.
+        """
+        if self.region_of(address) is None:
+            raise AccessViolation(address, "execute")
+
+    def regions(self) -> Tuple[Region, ...]:
+        return tuple(self._regions)
+
+    def __repr__(self) -> str:
+        return f"AddressSpace({self.name!r}, regions={len(self._regions)})"
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return (value + granularity - 1) // granularity * granularity

@@ -1,0 +1,248 @@
+"""Panic category and type registry.
+
+A Symbian panic is identified by a *category* (a short string naming the
+subsystem that raised it) and a numeric *type*.  This module registers
+every panic the paper's Table 2 observed in the field, with the meaning
+text the paper extracted from the Symbian OS documentation.
+
+The registry is the single source of truth for panic identity across the
+substrate, the fault model, the logger, and the analysis: the analysis
+classifies panics by these same (category, type) pairs when it rebuilds
+Table 2 from raw logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+# Category name constants.  Spellings follow the paper / Symbian docs.
+KERN_EXEC = "KERN-EXEC"
+KERN_SVR = "KERN-SVR"
+E32USER_CBASE = "E32USER-CBase"
+USER = "USER"
+VIEW_SRV = "ViewSrv"
+EIKON_LISTBOX = "EIKON-LISTBOX"
+EIKCOCTL = "EIKCOCTL"
+PHONE_APP = "Phone.app"
+MSGS_CLIENT = "MSGS Client"
+MMF_AUDIO_CLIENT = "MMFAudioClient"
+
+#: Categories raised by the kernel or core system servers.  A panic in
+#: one of these indicates a system-level error; the paper observes that
+#: they frequently manifest as high-level failures.
+SYSTEM_CATEGORIES = frozenset(
+    {KERN_EXEC, KERN_SVR, E32USER_CBASE, USER, VIEW_SRV}
+)
+
+#: Categories raised by application-framework components.  The paper
+#: observes good OS resilience to these: they are terminated without a
+#: high-level event — except Phone.app and MSGS Client, whose host
+#: processes are system-critical, so the kernel reboots the phone.
+APPLICATION_CATEGORIES = frozenset(
+    {EIKON_LISTBOX, EIKCOCTL, PHONE_APP, MSGS_CLIENT, MMF_AUDIO_CLIENT}
+)
+
+
+@dataclass(frozen=True, order=True)
+class PanicId:
+    """Identity of a panic: ``(category, type)``."""
+
+    category: str
+    ptype: int
+
+    def __str__(self) -> str:
+        return f"{self.category} {self.ptype}"
+
+
+@dataclass(frozen=True)
+class PanicInfo:
+    """Registry entry: identity plus documentation."""
+
+    panic_id: PanicId
+    meaning: str
+    documented: bool = True
+
+
+def _entry(category: str, ptype: int, meaning: str, documented: bool = True):
+    pid = PanicId(category, ptype)
+    return pid, PanicInfo(pid, meaning, documented)
+
+
+_REGISTRY: Dict[PanicId, PanicInfo] = dict(
+    [
+        _entry(
+            KERN_EXEC,
+            0,
+            "The Kernel Executive cannot find an object in the object index "
+            "for the current process or thread using the specified object "
+            "index number (the raw handle number).",
+        ),
+        _entry(
+            KERN_EXEC,
+            3,
+            "An unhandled exception occurred.  Exceptions have many causes, "
+            "but the most common are access violations caused, for example, "
+            "by dereferencing NULL.  Among other possible causes are general "
+            "protection faults, executing an invalid instruction, alignment "
+            "checks, etc.",
+        ),
+        _entry(
+            KERN_EXEC,
+            15,
+            "A timer event was requested from an asynchronous timer service "
+            "(an RTimer) while a timer event is already outstanding (At(), "
+            "After() or Lock() called again before the previous request "
+            "completed).",
+        ),
+        _entry(
+            E32USER_CBASE,
+            33,
+            "Raised by the destructor of a CObject if an attempt is made to "
+            "delete the CObject when the reference count is not zero.",
+        ),
+        _entry(
+            E32USER_CBASE,
+            46,
+            "Raised by an active scheduler (CActiveScheduler); caused by a "
+            "stray signal.",
+        ),
+        _entry(
+            E32USER_CBASE,
+            47,
+            "Raised by the Error() virtual member function of an active "
+            "scheduler when an active object's RunL() function leaves and "
+            "Error() has not been replaced.",
+        ),
+        _entry(
+            E32USER_CBASE,
+            69,
+            "Raised if no trap handler has been installed.  In practice this "
+            "occurs if CTrapCleanup::New() has not been called before using "
+            "the cleanup stack.",
+        ),
+        _entry(E32USER_CBASE, 91, "Not documented.", documented=False),
+        _entry(E32USER_CBASE, 92, "Not documented.", documented=False),
+        _entry(
+            USER,
+            10,
+            "The position value passed to a 16-bit variant descriptor member "
+            "function is out of bounds (Left(), Right(), Mid(), Insert(), "
+            "Delete(), Replace() of TDes16).",
+        ),
+        _entry(
+            USER,
+            11,
+            "An operation that moves or copies data to a 16-bit variant "
+            "descriptor caused the length of that descriptor to exceed its "
+            "maximum length (copying, appending, formatting, Insert(), "
+            "Replace(), Fill(), Fillz(), ZeroTerminate(), SetLength()).",
+        ),
+        _entry(
+            USER,
+            70,
+            "Attempting to complete a client/server request when the "
+            "RMessagePtr is null.",
+        ),
+        _entry(
+            KERN_SVR,
+            0,
+            "Raised by the Kernel Server when it attempts to close a kernel "
+            "object in response to an RHandleBase::Close() request and the "
+            "object represented by the handle cannot be found.  The most "
+            "likely cause is a corrupt handle.",
+        ),
+        _entry(
+            VIEW_SRV,
+            11,
+            "One active object's event handler monopolizes the thread's "
+            "active scheduler loop and the application's ViewSrv active "
+            "object cannot respond in time; the View Server closes the "
+            "application it believes to be stuck.",
+        ),
+        _entry(
+            EIKON_LISTBOX,
+            3,
+            "A listbox object from the Eikon framework is used and no view "
+            "is defined to display the object.",
+        ),
+        _entry(
+            EIKON_LISTBOX,
+            5,
+            "A listbox object from the Eikon framework is used and an "
+            "invalid Current Item Index is specified.",
+        ),
+        _entry(PHONE_APP, 2, "Not documented.", documented=False),
+        _entry(
+            EIKCOCTL,
+            70,
+            "Corrupt edwin (editor window) state during inline editing.",
+        ),
+        _entry(
+            MSGS_CLIENT,
+            3,
+            "Failed to write data into an asynchronous call descriptor to be "
+            "passed back to the client.",
+        ),
+        _entry(
+            MMF_AUDIO_CLIENT,
+            4,
+            "The TInt value passed to SetVolume(TInt) is 10 or more.",
+        ),
+    ]
+)
+
+
+def known_panics() -> Tuple[PanicInfo, ...]:
+    """All registered panics, ordered by (category, type)."""
+    return tuple(_REGISTRY[key] for key in sorted(_REGISTRY))
+
+
+def describe_panic(panic_id: PanicId) -> str:
+    """Documentation text for ``panic_id``.
+
+    Unregistered panics get a generic description rather than an error:
+    the field can always surprise a measurement tool.
+    """
+    info = _REGISTRY.get(panic_id)
+    if info is None:
+        return f"Unregistered panic {panic_id}."
+    return info.meaning
+
+
+def is_known(panic_id: PanicId) -> bool:
+    """Whether the panic appears in the paper's Table 2 registry."""
+    return panic_id in _REGISTRY
+
+
+def is_system_category(category: str) -> bool:
+    """Whether ``category`` is a kernel / core-system panic category."""
+    return category in SYSTEM_CATEGORIES
+
+
+def is_application_category(category: str) -> bool:
+    """Whether ``category`` is an application-framework panic category."""
+    return category in APPLICATION_CATEGORIES
+
+
+#: Convenience constants for the most commonly referenced panic ids.
+KERN_EXEC_0 = PanicId(KERN_EXEC, 0)
+KERN_EXEC_3 = PanicId(KERN_EXEC, 3)
+KERN_EXEC_15 = PanicId(KERN_EXEC, 15)
+E32USER_CBASE_33 = PanicId(E32USER_CBASE, 33)
+E32USER_CBASE_46 = PanicId(E32USER_CBASE, 46)
+E32USER_CBASE_47 = PanicId(E32USER_CBASE, 47)
+E32USER_CBASE_69 = PanicId(E32USER_CBASE, 69)
+E32USER_CBASE_91 = PanicId(E32USER_CBASE, 91)
+E32USER_CBASE_92 = PanicId(E32USER_CBASE, 92)
+USER_10 = PanicId(USER, 10)
+USER_11 = PanicId(USER, 11)
+USER_70 = PanicId(USER, 70)
+KERN_SVR_0 = PanicId(KERN_SVR, 0)
+VIEW_SRV_11 = PanicId(VIEW_SRV, 11)
+EIKON_LISTBOX_3 = PanicId(EIKON_LISTBOX, 3)
+EIKON_LISTBOX_5 = PanicId(EIKON_LISTBOX, 5)
+PHONE_APP_2 = PanicId(PHONE_APP, 2)
+EIKCOCTL_70 = PanicId(EIKCOCTL, 70)
+MSGS_CLIENT_3 = PanicId(MSGS_CLIENT, 3)
+MMF_AUDIO_CLIENT_4 = PanicId(MMF_AUDIO_CLIENT, 4)

@@ -1,0 +1,69 @@
+"""Application Architecture Server.
+
+Maintains the list of running (user-visible) applications.  The
+logger's Running Applications Detector queries it; it also publishes a
+change notification so a change-driven detector can log the set exactly
+when it changes instead of polling (see
+:class:`repro.logger.runapp.RunningAppsDetector`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.events import EventBus
+from repro.symbian.ipc import RMessage, Server
+
+#: Bus topic published on every running-set change.
+TOPIC_APPS_CHANGED = "apparch.apps_changed"
+
+#: Message function numbers.
+FN_APP_LIST = 1
+
+
+class AppArchServer(Server):
+    """Registry of running applications."""
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        super().__init__("AppArchServer")
+        self.bus = bus if bus is not None else EventBus()
+        self._running: List[str] = []
+        self.handler(FN_APP_LIST, self._handle_app_list)
+
+    # -- registration (called by the device/app model) ---------------------
+
+    def app_started(self, app_id: str) -> None:
+        """Record an application start; duplicate starts are idempotent."""
+        if app_id not in self._running:
+            self._running.append(app_id)
+            self._publish()
+
+    def app_stopped(self, app_id: str) -> None:
+        """Record an application exit; unknown ids are ignored."""
+        if app_id in self._running:
+            self._running.remove(app_id)
+            self._publish()
+
+    def clear(self) -> None:
+        """Drop every entry (device shutdown)."""
+        if self._running:
+            self._running.clear()
+            self._publish()
+
+    # -- queries -------------------------------------------------------------
+
+    def running_apps(self) -> Tuple[str, ...]:
+        """Snapshot of running application ids, in start order."""
+        return tuple(self._running)
+
+    def is_running(self, app_id: str) -> bool:
+        return app_id in self._running
+
+    # -- IPC ----------------------------------------------------------------
+
+    def _handle_app_list(self, message: RMessage) -> None:
+        """Serve the app list over IPC; the reply rides on the message."""
+        message.args[0].extend(self._running)  # caller passes a list buffer
+
+    def _publish(self) -> None:
+        self.bus.publish(TOPIC_APPS_CHANGED, self.running_apps())

@@ -1,0 +1,51 @@
+"""The ``flogger`` file-logging server, with its magic-directory quirk.
+
+The paper's related-work section points out why the stock logging
+facility was unusable for the study: ``flogger`` only records text for
+a module if a directory with a well-defined, *undocumented* name exists
+on the device — manufacturers use these names internally and do not
+publish them.  The model reproduces that behaviour: writes to a log
+whose directory has not been created are silently dropped, which is
+exactly the frustration that motivated building a dedicated logger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+
+class FileLogger:
+    """``RFileLogger``-style interface with the directory gate."""
+
+    def __init__(self) -> None:
+        self._directories: Set[str] = set()
+        self._logs: Dict[Tuple[str, str], List[str]] = {}
+        self.dropped = 0
+
+    def create_directory(self, directory: str) -> None:
+        """Create the system-specific directory that enables logging.
+
+        On a real device only someone who knows the undocumented name
+        can do this; the simulator exposes it so tests can cover both
+        sides of the gate.
+        """
+        self._directories.add(directory)
+
+    def write(self, directory: str, filename: str, text: str) -> bool:
+        """Append a line; silently dropped unless the directory exists.
+
+        Returns whether the line was stored.  The silent drop (rather
+        than an error) matches the real server's behaviour.
+        """
+        if directory not in self._directories:
+            self.dropped += 1
+            return False
+        self._logs.setdefault((directory, filename), []).append(text)
+        return True
+
+    def read(self, directory: str, filename: str) -> Tuple[str, ...]:
+        """Stored lines for a log file (empty when nothing was captured)."""
+        return tuple(self._logs.get((directory, filename), ()))
+
+    def directory_exists(self, directory: str) -> bool:
+        return directory in self._directories

@@ -1,0 +1,75 @@
+"""Database Log Server.
+
+Symbian's log database records call and messaging transactions; the
+paper notes these are the *only* phone activities the Log Engine can
+observe there ("the only ones registered on the Symbian's Database Log
+Server").  The model therefore accepts exactly voice-call and message
+events, keeps a bounded history, and publishes each event on the bus
+for the Log Engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.core.events import EventBus
+from repro.core.records import ACTIVITY_KINDS, PHASE_END, PHASE_START
+
+#: Bus topic published on every new log event.
+TOPIC_LOG_EVENT = "logdb.event"
+
+#: Default history bound — the real log database is small.
+DEFAULT_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One call/message transition in the log database."""
+
+    time: float
+    kind: str
+    phase: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTIVITY_KINDS:
+            raise ValueError(f"unknown activity kind {self.kind!r}")
+        if self.phase not in (PHASE_START, PHASE_END):
+            raise ValueError(f"unknown phase {self.phase!r}")
+
+
+class LogDatabaseServer:
+    """Bounded event log for calls and messages."""
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.bus = bus if bus is not None else EventBus()
+        self._events: Deque[LogEvent] = deque(maxlen=capacity)
+
+    def add_event(self, time: float, kind: str, phase: str) -> LogEvent:
+        """Record a call/message transition and notify subscribers."""
+        event = LogEvent(time, kind, phase)
+        self._events.append(event)
+        self.bus.publish(TOPIC_LOG_EVENT, event)
+        return event
+
+    def recent(self, count: int = 32) -> Tuple[LogEvent, ...]:
+        """The most recent ``count`` events, oldest first."""
+        if count <= 0:
+            return ()
+        items = list(self._events)
+        return tuple(items[-count:])
+
+    def clear(self) -> None:
+        """Drop the history (device shutdown)."""
+        self._events.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self._events)

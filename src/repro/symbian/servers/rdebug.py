@@ -1,0 +1,44 @@
+"""RDebug panic-notification services.
+
+The paper's Panic Detector "exploits services provided by the RDebug
+object in the Symbian OS Kernel Server" to learn the panic category and
+type as soon as a panic occurs.  The model subscribes to the kernel's
+panic topic and fans notifications out to registered observers — the
+Panic Detector being the one that matters here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.core.events import EventBus
+from repro.symbian.kernel import TOPIC_PANIC, PanicEvent
+
+Observer = Callable[[PanicEvent], None]
+
+
+class RDebug:
+    """Kernel-debug hook delivering panic notifications to observers."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self._observers: List[Observer] = []
+        self._subscription = bus.subscribe(TOPIC_PANIC, self._on_panic)
+        self.notified = 0
+
+    def register(self, observer: Observer) -> None:
+        """Register an observer; called once per panic with the event."""
+        self._observers.append(observer)
+
+    def unregister(self, observer: Observer) -> None:
+        """Remove an observer; unknown observers are ignored."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def detach(self) -> None:
+        """Stop listening to the kernel (device shutdown)."""
+        self._subscription.cancel()
+
+    def _on_panic(self, event: PanicEvent) -> None:
+        self.notified += 1
+        for observer in list(self._observers):
+            observer(event)

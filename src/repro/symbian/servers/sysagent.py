@@ -1,0 +1,75 @@
+"""System Agent Server — battery status.
+
+The logger's Power Manager reads the battery state here, which lets the
+analysis separate low-battery shutdowns (LOWBT heartbeat events) from
+failure-induced self-shutdowns.  State transitions are published on the
+bus so the Power Manager can log them change-driven.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import EventBus
+from repro.core.records import (
+    POWER_CHARGING,
+    POWER_DISCHARGING,
+    POWER_LOW,
+    POWER_STATES,
+)
+
+#: Bus topic published on every battery state/level transition.
+TOPIC_POWER_CHANGED = "sysagent.power_changed"
+
+#: Level below which the state reads ``low`` (fraction of full charge).
+LOW_BATTERY_THRESHOLD = 0.05
+
+
+class SystemAgent:
+    """Battery level and charging state."""
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self.bus = bus if bus is not None else EventBus()
+        self._level = 1.0
+        self._charging = False
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def level(self) -> float:
+        """Battery charge as a fraction in [0, 1]."""
+        return self._level
+
+    @property
+    def charging(self) -> bool:
+        return self._charging
+
+    @property
+    def state(self) -> str:
+        """One of :data:`repro.core.records.POWER_STATES`."""
+        if self._charging:
+            return POWER_CHARGING
+        if self._level <= LOW_BATTERY_THRESHOLD:
+            return POWER_LOW
+        return POWER_DISCHARGING
+
+    # -- updates (called by the battery model) -------------------------------
+
+    def set_level(self, time: float, level: float) -> None:
+        """Update the charge level, publishing on state change."""
+        level = min(max(level, 0.0), 1.0)
+        old_state = self.state
+        self._level = level
+        if self.state != old_state:
+            self._publish(time)
+
+    def set_charging(self, time: float, charging: bool) -> None:
+        """Update the charging flag, publishing on change."""
+        if charging != self._charging:
+            self._charging = charging
+            self._publish(time)
+
+    def _publish(self, time: float) -> None:
+        state = self.state
+        assert state in POWER_STATES
+        self.bus.publish(TOPIC_POWER_CHANGED, time, self._level, state)

@@ -1,0 +1,82 @@
+"""View Server — the watchdog behind ViewSrv 11.
+
+The View Server monitors applications for activity: every foreground
+application hosts a ViewSrv active object that must answer the server's
+periodic ping.  When one active object's event handler monopolizes the
+thread's active scheduler, the ViewSrv AO cannot respond in time and
+the server panics the application with ViewSrv 11 (2.53% of the paper's
+panics — and, per Table 3, observed only during voice calls).
+
+The model ties responsiveness to the application's scheduler: an
+application reports the duration its current handler has been running
+(:meth:`report_handler_duration`), and :meth:`ping` panics the hosting
+process when that duration exceeds the deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.symbian.kernel import KernelExecutive, Process
+from repro.symbian.panics import VIEW_SRV_11
+
+#: How long an event handler may monopolize the scheduler before the
+#: View Server declares the application stuck (seconds).  The real
+#: deadline is on the order of ten seconds.
+DEFAULT_DEADLINE = 10.0
+
+
+class ViewServer:
+    """Watchdog that panics applications whose AO loop is monopolized."""
+
+    def __init__(
+        self, kernel: KernelExecutive, deadline: float = DEFAULT_DEADLINE
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.kernel = kernel
+        self.deadline = deadline
+        self._handler_busy: Dict[str, float] = {}
+
+    def register(self, process: Process) -> None:
+        """Begin monitoring ``process`` (a foreground application)."""
+        self._handler_busy.setdefault(process.name, 0.0)
+
+    def unregister(self, process: Process) -> None:
+        """Stop monitoring ``process``."""
+        self._handler_busy.pop(process.name, None)
+
+    def report_handler_duration(self, process: Process, seconds: float) -> None:
+        """Record how long the app's current event handler has been running.
+
+        Zero means the handler returned — the ViewSrv AO got its turn.
+        """
+        if process.name in self._handler_busy:
+            self._handler_busy[process.name] = max(seconds, 0.0)
+
+    def ping(self, process: Process) -> None:
+        """Probe one application; panics ViewSrv 11 if it is stuck.
+
+        The panic is raised against the *application's* process: the
+        View Server closes what it believes is a looping application.
+        """
+        busy = self._handler_busy.get(process.name)
+        if busy is None:
+            return
+        if busy > self.deadline:
+            self._handler_busy.pop(process.name, None)
+            self.kernel.panic(
+                process,
+                VIEW_SRV_11,
+                f"event handler monopolized scheduler for {busy:.1f}s "
+                f"(> {self.deadline:.1f}s deadline)",
+            )
+
+    def ping_all(self) -> None:
+        """Probe every monitored application."""
+        for name in list(self._handler_busy):
+            process = self.kernel.find_process(name)
+            if process is None:
+                self._handler_busy.pop(name, None)
+                continue
+            self.ping(process)

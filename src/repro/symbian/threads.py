@@ -1,0 +1,226 @@
+"""The kernel thread scheduler — Symbian's lower multitasking level.
+
+§2 of the paper: "The Symbian OS defines two levels of multitasking:
+(i) threads, which execute at the lower level and are scheduled by a
+time-sharing, preemptive, priority-based OS thread scheduler, (ii)
+Active Objects ... scheduled by a non-preemptive, event-driven active
+scheduler."  :mod:`repro.symbian.active` models level (ii); this module
+models level (i).
+
+Workloads are generators yielding ``("cpu", seconds)`` and
+``("sleep", seconds)`` steps.  The scheduler:
+
+* always runs the highest-priority ready thread;
+* round-robins threads of equal priority on a time-slice quantum;
+* preempts a running thread the moment a higher-priority thread wakes;
+* counts context switches and per-thread CPU time, so starvation — the
+  mechanism behind ViewSrv 11 — is measurable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, Iterator, Optional, Tuple
+
+from repro.core.engine import ScheduledEvent, Simulator
+
+Step = Tuple[str, float]
+Workload = Iterator[Step]
+
+STATE_READY = "ready"
+STATE_RUNNING = "running"
+STATE_SLEEPING = "sleeping"
+STATE_FINISHED = "finished"
+
+#: Default scheduling quantum (seconds); EKA-era kernels sliced on the
+#: order of tens of milliseconds.
+DEFAULT_TIME_SLICE = 0.02
+
+#: CPU remainders below this are treated as done (float-residue guard:
+#: without it, a 1e-18 s leftover would be dispatched as a quantum).
+CPU_EPSILON = 1e-9
+
+
+class SchedThread:
+    """A schedulable thread: priority plus a workload generator."""
+
+    def __init__(self, name: str, priority: int, workload: Workload) -> None:
+        self.name = name
+        self.priority = priority
+        self.workload = workload
+        self.state = STATE_READY
+        self.cpu_time = 0.0
+        #: Remaining CPU need of the current step.
+        self._cpu_remaining = 0.0
+        self.finished_at: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return f"SchedThread({self.name!r}, prio={self.priority}, {self.state})"
+
+
+def cpu(seconds: float) -> Step:
+    """Workload step: compute for ``seconds`` of CPU time."""
+    return ("cpu", seconds)
+
+
+def sleep(seconds: float) -> Step:
+    """Workload step: block (I/O, timer) for ``seconds`` of wall time."""
+    return ("sleep", seconds)
+
+
+class ThreadScheduler:
+    """Preemptive priority scheduler with round-robin time slicing."""
+
+    def __init__(
+        self, sim: Simulator, time_slice: float = DEFAULT_TIME_SLICE
+    ) -> None:
+        if time_slice <= 0:
+            raise ValueError(f"time slice must be positive, got {time_slice}")
+        self.sim = sim
+        self.time_slice = time_slice
+        self._ready: Dict[int, Deque[SchedThread]] = {}
+        self._running: Optional[SchedThread] = None
+        self._quantum_event: Optional[ScheduledEvent] = None
+        self._quantum_started = 0.0
+        self.context_switches = 0
+
+    # -- thread management ---------------------------------------------------
+
+    def spawn(self, name: str, priority: int, workload: Workload) -> SchedThread:
+        """Create a thread and make it ready."""
+        thread = SchedThread(name, priority, workload)
+        self._advance_thread(thread)
+        self._reschedule()
+        return thread
+
+    def threads_ready(self) -> int:
+        return sum(len(queue) for queue in self._ready.values())
+
+    @property
+    def running(self) -> Optional[SchedThread]:
+        return self._running
+
+    # -- internals --------------------------------------------------------------
+
+    def _enqueue(self, thread: SchedThread) -> None:
+        thread.state = STATE_READY
+        self._ready.setdefault(thread.priority, deque()).append(thread)
+
+    def _dequeue_best(self) -> Optional[SchedThread]:
+        if not self._ready:
+            return None
+        best_priority = max(
+            priority for priority, queue in self._ready.items() if queue
+        ) if any(self._ready.values()) else None
+        if best_priority is None:
+            return None
+        queue = self._ready[best_priority]
+        thread = queue.popleft()
+        if not queue:
+            del self._ready[best_priority]
+        return thread
+
+    def _best_ready_priority(self) -> Optional[int]:
+        priorities = [p for p, queue in self._ready.items() if queue]
+        return max(priorities) if priorities else None
+
+    def _advance_thread(self, thread: SchedThread) -> None:
+        """Pull the thread's next step and place it accordingly."""
+        if thread._cpu_remaining > CPU_EPSILON:
+            self._enqueue(thread)
+            return
+        thread._cpu_remaining = 0.0
+        try:
+            kind, amount = next(thread.workload)
+        except StopIteration:
+            thread.state = STATE_FINISHED
+            thread.finished_at = self.sim.now
+            return
+        if amount < 0:
+            raise ValueError(f"negative step duration {amount} in {thread.name}")
+        if kind == "cpu":
+            thread._cpu_remaining = amount
+            self._enqueue(thread)
+        elif kind == "sleep":
+            thread.state = STATE_SLEEPING
+            self.sim.schedule_after(amount, self._wake, thread)
+        else:
+            raise ValueError(f"unknown workload step {kind!r} in {thread.name}")
+
+    def _wake(self, thread: SchedThread) -> None:
+        if thread.state != STATE_SLEEPING:
+            return
+        self._advance_thread(thread)
+        self._maybe_preempt()
+        self._reschedule()
+
+    def _reschedule(self) -> None:
+        if self._running is not None:
+            return
+        thread = self._dequeue_best()
+        if thread is None:
+            return
+        self._dispatch(thread)
+
+    def _dispatch(self, thread: SchedThread) -> None:
+        self._running = thread
+        thread.state = STATE_RUNNING
+        self.context_switches += 1
+        self._quantum_started = self.sim.now
+        quantum = max(min(self.time_slice, thread._cpu_remaining), CPU_EPSILON)
+        self._quantum_event = self.sim.schedule_after(
+            quantum, self._quantum_expired
+        )
+
+    def _charge_running(self) -> None:
+        assert self._running is not None
+        elapsed = self.sim.now - self._quantum_started
+        self._running.cpu_time += elapsed
+        self._running._cpu_remaining = max(
+            self._running._cpu_remaining - elapsed, 0.0
+        )
+        self._quantum_started = self.sim.now
+
+    def _quantum_expired(self) -> None:
+        thread = self._running
+        if thread is None:
+            return
+        self._charge_running()
+        self._running = None
+        self._quantum_event = None
+        if thread._cpu_remaining > CPU_EPSILON:
+            self._enqueue(thread)
+        else:
+            thread._cpu_remaining = 0.0
+            self._advance_thread(thread)
+        self._reschedule()
+
+    def _maybe_preempt(self) -> None:
+        """Preempt the running thread if a higher priority woke up."""
+        running = self._running
+        if running is None:
+            return
+        best = self._best_ready_priority()
+        if best is None or best <= running.priority:
+            return
+        if self._quantum_event is not None:
+            self._quantum_event.cancel()
+            self._quantum_event = None
+        self._charge_running()
+        self._running = None
+        self._enqueue(running)
+        self._reschedule()
+
+    def run_until_idle(self, deadline: float) -> None:
+        """Drive the simulator until no thread work remains or ``deadline``."""
+        while self.sim.now < deadline:
+            next_time = self.sim.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.sim.run_until(next_time)
+        self.sim.run_until(min(deadline, max(self.sim.now, deadline)))
+
+
+def make_workload(*steps: Step) -> Generator[Step, None, None]:
+    """Convenience: a workload generator from literal steps."""
+    yield from steps

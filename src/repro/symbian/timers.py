@@ -1,0 +1,85 @@
+"""Asynchronous timer service (``RTimer``) — the path behind KERN-EXEC 15.
+
+An ``RTimer`` carries at most one outstanding request.  Requesting a
+second timer event (``At()``, ``After()`` or ``Lock()``) while one is
+pending panics the requesting thread with KERN-EXEC 15 (0.51% of the
+paper's field panics).
+
+The timer integrates with the discrete-event simulator: completion is a
+scheduled event that signals the supplied :class:`TRequestStatus` and,
+when an active scheduler is attached, delivers the completion to it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import ScheduledEvent, Simulator
+from repro.symbian.active import TRequestStatus
+from repro.symbian.errors import KERR_NONE, PanicRequest
+from repro.symbian.panics import KERN_EXEC_15
+
+
+class RTimer:
+    """One-shot asynchronous timer with single-outstanding-request rule."""
+
+    def __init__(self, sim: Simulator, name: str = "timer") -> None:
+        self._sim = sim
+        self.name = name
+        self._pending: Optional[ScheduledEvent] = None
+        self._status: Optional[TRequestStatus] = None
+
+    @property
+    def outstanding(self) -> bool:
+        """Whether a timer request is currently pending."""
+        return self._pending is not None
+
+    def after(self, status: TRequestStatus, delay: float) -> None:
+        """Request completion of ``status`` after ``delay`` seconds.
+
+        Panics KERN-EXEC 15 when a request is already outstanding.
+        """
+        self._guard_no_outstanding("After")
+        status.mark_pending()
+        self._status = status
+        self._pending = self._sim.schedule_after(delay, self._fire)
+
+    def at(self, status: TRequestStatus, when: float) -> None:
+        """Request completion at absolute virtual time ``when``.
+
+        Panics KERN-EXEC 15 when a request is already outstanding.
+        """
+        self._guard_no_outstanding("At")
+        status.mark_pending()
+        self._status = status
+        self._pending = self._sim.schedule_at(when, self._fire)
+
+    def cancel(self) -> None:
+        """Cancel any outstanding request, completing it with KErrCancel."""
+        if self._pending is None:
+            return
+        self._pending.cancel()
+        self._pending = None
+        status = self._status
+        self._status = None
+        if status is not None:
+            status.complete(-3)  # KErrCancel
+
+    def _guard_no_outstanding(self, op: str) -> None:
+        if self._pending is not None:
+            raise PanicRequest(
+                KERN_EXEC_15,
+                f"RTimer::{op} while a timer event is already outstanding "
+                f"({self.name})",
+            )
+
+    def _fire(self) -> None:
+        self._pending = None
+        status = self._status
+        self._status = None
+        if status is not None:
+            status.complete(KERR_NONE)
+
+    def __repr__(self) -> str:
+        state = "outstanding" if self.outstanding else "idle"
+        return f"RTimer({self.name!r}, {state})"

@@ -1,0 +1,155 @@
+"""Application heap workloads: leaks, discipline, and exhaustion.
+
+The forum study (§4.1) pins "UI memory leaks" as a main cause of
+unstable behaviour, and the paper's §2 describes the machinery Symbian
+provides against exactly that: the cleanup stack, TRAP/leave, and
+two-phase construction.  This module makes the connection executable:
+
+* :class:`DisciplinedApplication` follows the rules — every transient
+  object goes through the cleanup stack, construction is two-phase —
+  so its heap footprint stays bounded no matter what the UI does and
+  allocation failure surfaces as a clean ``KErrNoMemory`` leave.
+* :class:`LeakyApplication` forgets frees with some probability.  Its
+  heap grows monotonically until allocation fails; if the failure
+  path is not trapped, the cleanup-stack misuse panics the thread —
+  the road from a slow leak to the panics of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.rand import Stream
+from repro.symbian.cleanup import CTrapCleanup
+from repro.symbian.errors import KERR_NO_MEMORY, Leave
+from repro.symbian.heap import RHeap
+from repro.symbian.kernel import Process
+
+#: Payload words allocated per UI operation.
+UI_OBJECT_WORDS = 32
+
+
+class _UiObject:
+    """A transient UI-side allocation with a destructor."""
+
+    def __init__(self, heap: RHeap, words: int = UI_OBJECT_WORDS) -> None:
+        self.heap = heap
+        self.address: Optional[int] = heap.alloc_l(words)
+
+    def destruct(self) -> None:
+        if self.address is not None:
+            self.heap.free(self.address)
+            self.address = None
+
+
+class DisciplinedApplication:
+    """UI loop that follows Symbian's memory discipline."""
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+        self.operations = 0
+        self.allocation_failures = 0
+
+    def handle_ui_event(self) -> bool:
+        """One UI operation; returns False on (clean) memory exhaustion.
+
+        The transient object rides the cleanup stack for the duration
+        of the operation and is always destroyed — by the explicit
+        ``pop_and_destroy`` on success, by the TRAP unwind on a leave.
+        """
+        cleanup = self.process.cleanup
+        with cleanup.trap() as result:
+            obj = _UiObject(self.process.heap)
+            cleanup.push(obj)
+            # ... render, layout, whatever the operation does ...
+            cleanup.pop_and_destroy()
+        self.operations += 1
+        if result.left:
+            if result.code == KERR_NO_MEMORY:
+                self.allocation_failures += 1
+                return False
+            raise Leave(result.code)
+        return True
+
+    @property
+    def live_cells(self) -> int:
+        return self.process.heap.cell_count
+
+
+class LeakyApplication:
+    """UI loop with a probabilistic free-forgetting defect.
+
+    ``trap_allocation`` controls what happens when the heap finally
+    runs out: a disciplined failure path traps the leave and degrades
+    (the user sees an output failure); an undisciplined one lets the
+    leave race up with no trap harness installed — E32USER-CBase 69,
+    the third-largest panic class of Table 2.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        stream: Stream,
+        leak_probability: float = 0.2,
+        trap_allocation: bool = True,
+    ) -> None:
+        if not 0.0 <= leak_probability <= 1.0:
+            raise ValueError(f"leak probability {leak_probability} out of range")
+        self.process = process
+        self.stream = stream
+        self.leak_probability = leak_probability
+        self.trap_allocation = trap_allocation
+        self.operations = 0
+        self.leaked_cells = 0
+        self.allocation_failures = 0
+
+    def handle_ui_event(self) -> bool:
+        """One UI operation; returns False once memory is exhausted."""
+        cleanup = self.process.cleanup
+        if self.trap_allocation:
+            with cleanup.trap() as result:
+                self._operate(cleanup)
+            if result.left and result.code == KERR_NO_MEMORY:
+                self.allocation_failures += 1
+                return False
+        else:
+            # No harness: the eventual allocation leave panics the
+            # thread (cleanup-stack use with no trap handler).
+            self._operate_untrapped()
+        self.operations += 1
+        return True
+
+    def _operate(self, cleanup: CTrapCleanup) -> None:
+        obj = _UiObject(self.process.heap)
+        cleanup.push(obj)
+        if self.stream.bernoulli(self.leak_probability):
+            # The defect: the reference is dropped without destroying
+            # the object — pop without destroy leaks the cell.
+            cleanup.pop()
+            self.leaked_cells += 1
+        else:
+            cleanup.pop_and_destroy()
+
+    def _operate_untrapped(self) -> None:
+        # Allocation outside any trap: fine while memory lasts, a
+        # panic (not a leave) once it does not.
+        address = self.process.heap.alloc(UI_OBJECT_WORDS)
+        if address is None:
+            self.process.cleanup.leave(KERR_NO_MEMORY)  # panics: no trap
+        if self.stream.bernoulli(self.leak_probability):
+            self.leaked_cells += 1
+        else:
+            self.process.heap.free(address)
+
+    @property
+    def live_cells(self) -> int:
+        return self.process.heap.cell_count
+
+
+def drive_until_exhaustion(app, max_operations: int = 100_000) -> int:
+    """Run UI events until the app reports exhaustion; returns the
+    operation count (``max_operations`` if it never exhausts)."""
+    for count in range(1, max_operations + 1):
+        if not app.handle_ui_event():
+            return count
+    return max_operations

@@ -1,0 +1,20 @@
+"""Shared fixtures: campaigns are expensive, so session-scope them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.config import CampaignConfig
+
+
+@pytest.fixture(scope="session")
+def quick_campaign() -> CampaignResult:
+    """A small campaign (6 phones, 2 months) shared by analysis tests."""
+    return run_campaign(CampaignConfig.quick(seed=1234))
+
+
+@pytest.fixture(scope="session")
+def paper_campaign() -> CampaignResult:
+    """The paper-scale campaign (25 phones, 14 months), run once."""
+    return run_campaign(CampaignConfig.paper_scale(seed=2005))

@@ -1,0 +1,19 @@
+"""Test helpers: hand-built datasets for precise analysis tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.analysis.ingest import Dataset
+from repro.logger.logfile import serialize_record
+
+
+def dataset_from_records(
+    records_by_phone: Dict[str, Iterable[object]], end_time: float
+) -> Dataset:
+    """Serialize records per phone and ingest them like real logs."""
+    lines: Dict[str, List[str]] = {
+        phone_id: [serialize_record(record) for record in records]
+        for phone_id, records in records_by_phone.items()
+    }
+    return Dataset.from_lines(lines, end_time=end_time)

@@ -1,0 +1,84 @@
+"""Tests for table rendering and the full report."""
+
+import pytest
+
+from repro.analysis.report import build_report
+from repro.analysis.tables import format_percent, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(("Name", "Value"), [("alpha", 1.0), ("b", 22.5)])
+        lines = out.splitlines()
+        assert lines[0].startswith("Name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_numeric_right_alignment(self):
+        out = render_table(("N",), [("5",), ("123",)])
+        lines = out.splitlines()
+        assert lines[2] == "  5"
+        assert lines[3] == "123"
+
+    def test_text_left_alignment(self):
+        out = render_table(("Name",), [("ab",), ("longer",)])
+        lines = out.splitlines()
+        assert lines[2].startswith("ab")
+
+    def test_dots_do_not_break_numeric_detection(self):
+        out = render_table(("V",), [(".",), ("1.5",)])
+        assert "1.5" in out
+
+    def test_empty_rows(self):
+        out = render_table(("A", "B"), [])
+        assert len(out.splitlines()) == 2
+
+    def test_format_percent(self):
+        assert format_percent(12.345) == "12.35"
+        assert format_percent(12.345, digits=1) == "12.3"
+
+
+class TestFullReport:
+    def test_report_sections_present(self, quick_campaign):
+        text = quick_campaign.report.render()
+        for fragment in (
+            "Headline findings",
+            "Figure 2",
+            "Table 2",
+            "Figure 3",
+            "Figure 5",
+            "Table 3",
+            "Table 4",
+            "Figure 6",
+        ):
+            assert fragment in text
+
+    def test_headline_mentions_paper_anchors(self, quick_campaign):
+        head = quick_campaign.report.render_headline()
+        assert "paper: 313 h" in head
+        assert "paper: 56%" in head
+        assert "paper: 51%" in head
+
+    def test_table2_lists_kern_exec(self, quick_campaign):
+        assert "KERN-EXEC" in quick_campaign.report.render_table2()
+
+    def test_figure2_reports_filter(self, quick_campaign):
+        fig = quick_campaign.report.render_figure2()
+        assert "self-shutdowns (<360s)" in fig
+        assert "night-off mode" in fig
+
+    def test_build_report_consistency(self, quick_campaign):
+        report = build_report(quick_campaign.dataset)
+        # Rebuilt from the same dataset: identical headline numbers.
+        assert (
+            report.availability.freeze_count
+            == quick_campaign.report.availability.freeze_count
+        )
+        assert report.panic_table.total == quick_campaign.report.panic_table.total
+
+    def test_hl_relationship_consistency(self, quick_campaign):
+        hl = quick_campaign.report.hl
+        total_from_rows = sum(row.total for row in hl.rows)
+        assert total_from_rows == quick_campaign.dataset.total_panics
+        for row in hl.rows:
+            assert row.freeze_related + row.self_shutdown_related + row.isolated == row.total

@@ -1,0 +1,133 @@
+"""Tests for the CLI and the disk export/ingest round trip."""
+
+import pytest
+
+from repro.analysis.ingest import Dataset
+from repro.analysis.report import build_report
+from repro.cli import main
+from repro.logger.transfer import CollectionServer, load_lines_from_dir
+
+
+class TestDiskRoundTrip:
+    def test_export_and_reload_identical(self, tmp_path, quick_campaign):
+        collector = quick_campaign.fleet.collector
+        written = collector.export_to_dir(str(tmp_path))
+        assert written == quick_campaign.dataset.phone_count
+        reloaded = load_lines_from_dir(str(tmp_path))
+        assert reloaded == collector.dataset()
+
+    def test_reloaded_dataset_gives_identical_analysis(
+        self, tmp_path, quick_campaign
+    ):
+        quick_campaign.fleet.collector.export_to_dir(str(tmp_path))
+        lines = load_lines_from_dir(str(tmp_path))
+        dataset = Dataset.from_lines(
+            lines, end_time=quick_campaign.dataset.end_time
+        )
+        report = build_report(dataset)
+        original = quick_campaign.report
+        assert report.panic_table.total == original.panic_table.total
+        assert report.availability.freeze_count == original.availability.freeze_count
+        assert (
+            report.availability.self_shutdown_count
+            == original.availability.self_shutdown_count
+        )
+
+    def test_export_empty_collector(self, tmp_path):
+        assert CollectionServer().export_to_dir(str(tmp_path)) == 0
+        assert load_lines_from_dir(str(tmp_path)) == {}
+
+    def test_load_ignores_non_log_files(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("irrelevant")
+        (tmp_path / "phone-00.log").write_text("BOOT|1.000|NONE|0.000\n")
+        lines = load_lines_from_dir(str(tmp_path))
+        assert list(lines) == ["phone-00"]
+
+
+class TestCli:
+    def test_campaign_headline(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--phones",
+                "2",
+                "--months",
+                "1",
+                "--seed",
+                "9",
+                "--headline-only",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Headline findings" in out
+        assert "MTBFr" in out
+
+    def test_campaign_export_then_analyze(self, tmp_path, capsys):
+        export_dir = str(tmp_path / "logs")
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--phones",
+                    "2",
+                    "--months",
+                    "1",
+                    "--seed",
+                    "9",
+                    "--headline-only",
+                    "--export",
+                    export_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["analyze", export_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 2" in out
+
+    def test_analyze_empty_directory_fails(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path)]) == 1
+        assert "no .log files" in capsys.readouterr().err
+
+    def test_forum_command(self, capsys):
+        assert main(["forum", "--reports", "120", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "classifier vs ground truth" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["launch-rockets"])
+
+
+class TestExtendedReport:
+    def test_extended_render_includes_extension_sections(self, quick_campaign):
+        text = quick_campaign.report.render_extended()
+        for fragment in (
+            "Downtime (extension)",
+            "Inter-failure time modelling (extension)",
+            "Fleet variability (extension)",
+            "Temporal structure (extension)",
+            "Headline findings",  # the base report is still there
+        ):
+            assert fragment in text
+
+    def test_cli_extended_flag(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--phones",
+                "2",
+                "--months",
+                "1",
+                "--seed",
+                "9",
+                "--extended",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Downtime (extension)" in out

@@ -1,0 +1,175 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_after(5, out.append, "late")
+        sim.schedule_after(1, out.append, "early")
+        sim.run()
+        assert out == ["early", "late"]
+
+    def test_same_time_fires_in_scheduling_order(self):
+        sim = Simulator()
+        out = []
+        for i in range(10):
+            sim.schedule_at(7.0, out.append, i)
+        sim.run()
+        assert out == list(range(10))
+
+    def test_priority_breaks_time_ties(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_at(1.0, out.append, "low", priority=5)
+        sim.schedule_at(1.0, out.append, "high", priority=-5)
+        sim.run()
+        assert out == ["high", "low"]
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator(start=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_after(3.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [3.5]
+
+    def test_events_scheduled_from_handlers(self):
+        sim = Simulator()
+        out = []
+
+        def first():
+            out.append("first")
+            sim.schedule_after(1.0, lambda: out.append("second"))
+
+        sim.schedule_after(1.0, first)
+        sim.run()
+        assert out == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        out = []
+        handle = sim.schedule_after(1.0, out.append, "x")
+        handle.cancel()
+        sim.run()
+        assert out == []
+
+    def test_cancel_twice_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule_after(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule_after(1.0, lambda: None)
+        drop = sim.schedule_after(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_count() == 1
+        del keep
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_at(5.0, out.append, "in")
+        sim.schedule_at(15.0, out.append, "out")
+        sim.run_until(10.0)
+        assert out == ["in"]
+        assert sim.now == 10.0
+
+    def test_event_at_boundary_fires(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_at(10.0, out.append, "edge")
+        sim.run_until(10.0)
+        assert out == ["edge"]
+
+    def test_remaining_events_fire_on_next_run(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_at(15.0, out.append, "later")
+        sim.run_until(10.0)
+        sim.run_until(20.0)
+        assert out == ["later"]
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter():
+            sim.run_until(100.0)
+
+        sim.schedule_after(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestStepAndIntrospection:
+    def test_step_fires_one_event(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_after(1.0, out.append, 1)
+        sim.schedule_after(2.0, out.append, 2)
+        assert sim.step() is True
+        assert out == [1]
+
+    def test_step_on_empty_returns_false(self):
+        assert Simulator().step() is False
+
+    def test_peek_time(self):
+        sim = Simulator()
+        sim.schedule_after(4.0, lambda: None)
+        assert sim.peek_time() == 4.0
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule_after(1.0, lambda: None)
+        sim.schedule_after(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule_after(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+    def test_repr(self):
+        sim = Simulator()
+        assert "pending=0" in repr(sim)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+            for i in range(50):
+                sim.schedule_at(float(i % 7), trace.append, i)
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,91 @@
+"""Tests for the event bus."""
+
+from repro.core.events import EventBus
+
+
+class TestSubscribePublish:
+    def test_handler_receives_args(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("t", lambda a, b: got.append((a, b)))
+        bus.publish("t", 1, 2)
+        assert got == [(1, 2)]
+
+    def test_kwargs_pass_through(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("t", lambda **kw: got.append(kw))
+        bus.publish("t", key="value")
+        assert got == [{"key": "value"}]
+
+    def test_publish_returns_handler_count(self):
+        bus = EventBus()
+        bus.subscribe("t", lambda: None)
+        bus.subscribe("t", lambda: None)
+        assert bus.publish("t") == 2
+
+    def test_publish_without_handlers_is_zero(self):
+        assert EventBus().publish("nothing") == 0
+
+    def test_handlers_called_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("t", lambda: order.append("a"))
+        bus.subscribe("t", lambda: order.append("b"))
+        bus.publish("t")
+        assert order == ["a", "b"]
+
+    def test_topics_are_isolated(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("a", lambda: got.append("a"))
+        bus.publish("b")
+        assert got == []
+
+
+class TestCancellation:
+    def test_cancelled_handler_not_called(self):
+        bus = EventBus()
+        got = []
+        sub = bus.subscribe("t", lambda: got.append(1))
+        sub.cancel()
+        bus.publish("t")
+        assert got == []
+
+    def test_cancel_twice_is_noop(self):
+        bus = EventBus()
+        sub = bus.subscribe("t", lambda: None)
+        sub.cancel()
+        sub.cancel()
+
+    def test_cancel_leaves_other_handlers(self):
+        bus = EventBus()
+        got = []
+        sub = bus.subscribe("t", lambda: got.append("a"))
+        bus.subscribe("t", lambda: got.append("b"))
+        sub.cancel()
+        bus.publish("t")
+        assert got == ["b"]
+
+    def test_handler_count(self):
+        bus = EventBus()
+        sub = bus.subscribe("t", lambda: None)
+        assert bus.handler_count("t") == 1
+        sub.cancel()
+        assert bus.handler_count("t") == 0
+
+
+class TestReentrancy:
+    def test_subscription_during_publish_not_invoked_for_current_event(self):
+        bus = EventBus()
+        got = []
+
+        def subscriber():
+            bus.subscribe("t", lambda: got.append("late"))
+            got.append("first")
+
+        bus.subscribe("t", subscriber)
+        bus.publish("t")
+        assert got == ["first"]
+        bus.publish("t")
+        assert got == ["first", "first", "late"]

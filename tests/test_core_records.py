@@ -1,0 +1,145 @@
+"""Tests for the log record types."""
+
+import pytest
+
+from repro.core.errors import LogFormatError
+from repro.core.records import (
+    ActivityRecord,
+    BootRecord,
+    EnrollRecord,
+    PanicRecord,
+    PowerRecord,
+    RECORD_TAGS,
+    RunningAppsRecord,
+    UserReportRecord,
+    record_from_fields,
+)
+
+
+class TestEnrollRecord:
+    def test_roundtrip(self):
+        record = EnrollRecord(12.5, "phone-01", "8.0", "Italy")
+        assert EnrollRecord.from_fields(record.to_fields()) == record
+
+    def test_wrong_field_count(self):
+        with pytest.raises(LogFormatError):
+            EnrollRecord.from_fields(["1.0", "x"])
+
+    def test_bad_float(self):
+        with pytest.raises(LogFormatError):
+            EnrollRecord.from_fields(["abc", "p", "8.0", "Italy"])
+
+
+class TestBootRecord:
+    def test_roundtrip(self):
+        record = BootRecord(100.0, "REBOOT", 20.0)
+        parsed = BootRecord.from_fields(record.to_fields())
+        assert parsed == record
+
+    def test_off_duration(self):
+        assert BootRecord(100.0, "REBOOT", 20.0).off_duration == 80.0
+
+    def test_unknown_beat_kind_rejected(self):
+        with pytest.raises(LogFormatError):
+            BootRecord(1.0, "WEIRD", 0.0)
+
+    def test_all_beat_kinds_accepted(self):
+        for kind in ("ALIVE", "REBOOT", "MAOFF", "LOWBT", "NONE"):
+            BootRecord(1.0, kind, 0.0)
+
+    def test_wrong_field_count(self):
+        with pytest.raises(LogFormatError):
+            BootRecord.from_fields(["1.0"])
+
+
+class TestPanicRecord:
+    def test_roundtrip(self):
+        record = PanicRecord(5.0, "KERN-EXEC", 3, "Camera")
+        assert PanicRecord.from_fields(record.to_fields()) == record
+
+    def test_bad_type_field(self):
+        with pytest.raises(LogFormatError):
+            PanicRecord.from_fields(["1.0", "KERN-EXEC", "three", "Camera"])
+
+    def test_wrong_field_count(self):
+        with pytest.raises(LogFormatError):
+            PanicRecord.from_fields(["1.0", "KERN-EXEC", "3"])
+
+
+class TestActivityRecord:
+    def test_roundtrip(self):
+        record = ActivityRecord(9.0, "voice_call", "start")
+        assert ActivityRecord.from_fields(record.to_fields()) == record
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LogFormatError):
+            ActivityRecord(1.0, "gaming", "start")
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(LogFormatError):
+            ActivityRecord(1.0, "message", "middle")
+
+
+class TestRunningAppsRecord:
+    def test_roundtrip(self):
+        record = RunningAppsRecord(4.0, ("Messages", "Clock"))
+        assert RunningAppsRecord.from_fields(record.to_fields()) == record
+
+    def test_empty_set_roundtrip(self):
+        record = RunningAppsRecord(4.0, ())
+        assert RunningAppsRecord.from_fields(record.to_fields()).apps == ()
+
+    def test_single_app(self):
+        record = RunningAppsRecord(4.0, ("Log",))
+        assert RunningAppsRecord.from_fields(record.to_fields()).apps == ("Log",)
+
+
+class TestPowerRecord:
+    def test_roundtrip(self):
+        record = PowerRecord(8.0, 0.5, "charging")
+        parsed = PowerRecord.from_fields(record.to_fields())
+        assert parsed.state == "charging"
+        assert parsed.level == pytest.approx(0.5)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(LogFormatError):
+            PowerRecord(1.0, 0.5, "exploding")
+
+
+class TestUserReportRecord:
+    def test_roundtrip(self):
+        record = UserReportRecord(7.0, "output_failure")
+        assert UserReportRecord.from_fields(record.to_fields()) == record
+
+    def test_all_kinds_accepted(self):
+        for kind in ("output_failure", "input_failure", "unstable_behavior"):
+            UserReportRecord(1.0, kind)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LogFormatError):
+            UserReportRecord(1.0, "boredom")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(LogFormatError):
+            UserReportRecord.from_fields(["1.0"])
+
+
+class TestDispatch:
+    def test_dispatch_every_tag(self):
+        samples = {
+            "ENROLL": EnrollRecord(1.0, "p", "8.0", "Italy"),
+            "BOOT": BootRecord(1.0, "NONE", 0.0),
+            "PANIC": PanicRecord(1.0, "USER", 11, "Messages"),
+            "ACT": ActivityRecord(1.0, "message", "end"),
+            "RUNAPP": RunningAppsRecord(1.0, ("Clock",)),
+            "POWER": PowerRecord(1.0, 1.0, "discharging"),
+            "UREPORT": UserReportRecord(1.0, "output_failure"),
+        }
+        assert set(samples) == set(RECORD_TAGS)
+        for tag, record in samples.items():
+            rebuilt = record_from_fields(tag, record.to_fields())
+            assert type(rebuilt) is type(record)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(LogFormatError):
+            record_from_fields("NOPE", ["1.0"])

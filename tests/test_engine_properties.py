@@ -1,0 +1,102 @@
+"""Property tests on the DES engine — the layer everything rests on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Simulator
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=0,
+        max_size=200,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_every_event_fires_exactly_once_in_time_order(times):
+    sim = Simulator()
+    fired = []
+    for index, t in enumerate(times):
+        sim.schedule_at(t, lambda i=index: fired.append((sim.now, i)))
+    sim.run()
+    assert len(fired) == len(times)
+    observed_times = [t for t, _i in fired]
+    assert observed_times == sorted(observed_times)
+    assert {i for _t, i in fired} == set(range(len(times)))
+    for fire_time, index in fired:
+        assert fire_time == times[index]
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    ),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=100),
+)
+@settings(max_examples=200, deadline=None)
+def test_cancelled_events_never_fire(times, cancel_mask):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for index, t in enumerate(times):
+        handles.append(sim.schedule_at(t, lambda i=index: fired.append(i)))
+    cancelled = set()
+    for index, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+        if cancel:
+            handle.cancel()
+            cancelled.add(index)
+    sim.run()
+    assert set(fired).isdisjoint(cancelled)
+    assert set(fired) | cancelled == set(range(min(len(times), len(times))))
+
+
+@given(
+    splits=st.lists(
+        st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_run_until_in_pieces_equals_run_at_once(splits):
+    """Driving the clock in arbitrary increments fires the same events
+    in the same order as one big run."""
+
+    def build(sim, trace):
+        for i in range(20):
+            sim.schedule_at(float(i * 37 % 100), lambda i=i: trace.append(i))
+
+    sim_a = Simulator()
+    trace_a = []
+    build(sim_a, trace_a)
+    sim_a.run_until(1000.0)
+
+    sim_b = Simulator()
+    trace_b = []
+    build(sim_b, trace_b)
+    t = 0.0
+    for step in splits:
+        t = min(t + step, 1000.0)
+        sim_b.run_until(t)
+    sim_b.run_until(1000.0)
+
+    assert trace_a == trace_b
+
+
+@given(seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_events_scheduling_events_terminate_in_order(seed):
+    """Chains of self-scheduling events preserve global time order."""
+    sim = Simulator()
+    fired = []
+
+    def chain(depth, base):
+        fired.append(sim.now)
+        if depth < 5:
+            sim.schedule_after(base, chain, depth + 1, base)
+
+    for k in range(1, 4):
+        sim.schedule_after(float(seed % 7 + k), chain, 0, float(k))
+    sim.run()
+    assert fired == sorted(fired)

@@ -1,0 +1,63 @@
+"""Every example script must run cleanly (the quickest configuration)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+#: (script, extra args) — args keep the slow ones quick for CI.
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("forum_study.py", ["--reports", "120"]),
+    ("single_phone_anatomy.py", []),
+    ("memory_leak_anatomy.py", []),
+    ("viewsrv_starvation.py", []),
+    ("what_if_fixes.py", ["--phones", "2", "--months", "1"]),
+    ("dependability_deep_dive.py", ["--phones", "3", "--months", "2"]),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=lambda v: str(v))
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_full_reproduction_help():
+    """The heavyweight example at least parses its CLI."""
+    path = os.path.join(EXAMPLES_DIR, "full_reproduction.py")
+    result = subprocess.run(
+        [sys.executable, path, "--help"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert "--seed" in result.stdout
+
+
+def test_generate_experiments_report_importable():
+    """The report generator is import-safe (execution is the slow path)."""
+    path = os.path.join(EXAMPLES_DIR, "generate_experiments_report.py")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import runpy, sys; sys.argv=['x']; "
+            f"spec=open({path!r}).read(); compile(spec, 'gen', 'exec')",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr

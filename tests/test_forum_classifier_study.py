@@ -1,0 +1,199 @@
+"""Tests for the forum classifier and the end-to-end §4 study."""
+
+import pytest
+
+from repro.forum import taxonomy as T
+from repro.forum.classifier import (
+    ReportClassifier,
+    score_against_ground_truth,
+)
+from repro.forum.corpus import CorpusConfig, ForumPost, generate_corpus
+from repro.forum.study import analyze_reports, run_forum_study
+
+
+def make_post(text, post_id=0, model="Nokia 6600"):
+    return ForumPost(
+        post_id=post_id,
+        date="2005-06",
+        forum="howardforums.com",
+        vendor="Nokia",
+        model=model,
+        device_class=T.SMART_PHONE,
+        text=text,
+    )
+
+
+class TestClassifierRules:
+    def classify(self, text):
+        return ReportClassifier().classify_post(make_post(text))
+
+    def test_freeze_with_battery_removal(self):
+        report = self.classify(
+            "the phone freezes whenever I try to write a text message, and "
+            "stays frozen until I take the battery out"
+        )
+        assert report is not None
+        assert report.failure_type == T.FREEZE
+        assert report.recovery == T.BATTERY_REMOVAL
+        assert report.severity == T.SEVERITY_MEDIUM
+        assert report.activity == T.ACT_TEXT
+
+    def test_unstable_with_memory_leak_mention(self):
+        report = self.classify(
+            "the phone exhibits random wallpaper disappearing and power "
+            "cycling, due to UI memory leaks"
+        )
+        assert report.failure_type == T.UNSTABLE_BEHAVIOR
+
+    def test_self_shutdown(self):
+        report = self.classify("it just turns itself off at random moments")
+        assert report.failure_type == T.SELF_SHUTDOWN
+
+    def test_output_failure_with_reboot(self):
+        report = self.classify(
+            "the charge indicator is wrong, a reboot fixes it until next time"
+        )
+        assert report.failure_type == T.OUTPUT_FAILURE
+        assert report.recovery == T.REBOOT
+
+    def test_input_failure(self):
+        report = self.classify("the soft keys do not work at all")
+        assert report.failure_type == T.INPUT_FAILURE
+
+    def test_service_recovery_high_severity(self):
+        report = self.classify(
+            "the screen locks up, the service center had to do a master reset"
+        )
+        assert report.recovery == T.SERVICE
+        assert report.severity == T.SEVERITY_HIGH
+
+    def test_wait_recovery_low_severity(self):
+        report = self.classify(
+            "it hangs, but after waiting a while it comes back by itself"
+        )
+        assert report.recovery == T.WAIT
+        assert report.severity == T.SEVERITY_LOW
+
+    def test_unreported_recovery(self):
+        report = self.classify("the screen locks up every single day")
+        assert report.recovery == T.UNREPORTED
+        assert report.severity is None
+
+    def test_chatter_filtered_out(self):
+        classifier = ReportClassifier()
+        assert classifier.classify_post(
+            make_post("anyone know where to download good ringtones?")
+        ) is None
+        assert classifier.filtered_out == 1
+
+    def test_activity_voice(self):
+        report = self.classify("it hangs, always in the middle of a phone call")
+        assert report.activity == T.ACT_VOICE
+
+    def test_activity_bluetooth(self):
+        report = self.classify("it hangs when using bluetooth to transfer files")
+        assert report.activity == T.ACT_BLUETOOTH
+
+    def test_activity_none(self):
+        report = self.classify("it hangs now and then")
+        assert report.activity == T.ACT_NONE
+
+    def test_device_class_from_model(self):
+        report = ReportClassifier().classify_post(
+            make_post("the screen locks up", model="Samsung D500")
+        )
+        assert report.device_class == T.CONVENTIONAL
+
+    def test_classified_counter(self):
+        classifier = ReportClassifier()
+        classifier.classify_post(make_post("the screen locks up"))
+        assert classifier.classified == 1
+
+
+class TestScoring:
+    def test_perfect_on_clear_corpus(self):
+        posts = generate_corpus(
+            CorpusConfig(failure_reports=150, noise_level=0.0, chatter_ratio=0.0),
+            seed=11,
+        )
+        scores = score_against_ground_truth(posts)
+        assert scores["recall"] == 1.0
+        assert scores["type_accuracy"] == 1.0
+
+    def test_noise_reduces_recall(self):
+        clear = score_against_ground_truth(
+            generate_corpus(CorpusConfig(noise_level=0.0), seed=12)
+        )
+        noisy = score_against_ground_truth(
+            generate_corpus(CorpusConfig(noise_level=1.0), seed=12)
+        )
+        assert noisy["recall"] < clear["recall"]
+
+    def test_tricky_chatter_costs_precision(self):
+        posts = generate_corpus(
+            CorpusConfig(failure_reports=300, chatter_ratio=5.0), seed=13
+        )
+        scores = score_against_ground_truth(posts)
+        assert scores["precision"] < 1.0
+        assert scores["precision"] > 0.8
+
+
+class TestStudy:
+    def test_full_study_shape(self):
+        result = run_forum_study(seed=2003)
+        assert result.report_count > 400
+        assert result.dominant_failure_type() == T.OUTPUT_FAILURE
+        assert result.type_totals[T.OUTPUT_FAILURE] == pytest.approx(36.3, abs=4.0)
+        assert result.type_totals[T.FREEZE] == pytest.approx(25.3, abs=4.0)
+        assert result.smart_phone_share == pytest.approx(0.223, abs=0.05)
+
+    def test_table1_cells_sum_to_100(self):
+        result = run_forum_study(seed=2003)
+        assert sum(result.table1.values()) == pytest.approx(100.0, abs=0.1)
+
+    def test_activity_marginals(self):
+        result = run_forum_study(seed=2003)
+        assert result.activity_totals[T.ACT_VOICE] == pytest.approx(13.0, abs=4.0)
+
+    def test_severity_totals_sum_to_100(self):
+        result = run_forum_study(seed=2003)
+        assert sum(result.severity_totals.values()) == pytest.approx(100.0, abs=0.1)
+
+    def test_renderings_contain_key_facts(self):
+        result = run_forum_study(seed=2003)
+        table = result.render_table1()
+        assert "freeze" in table
+        assert "battery_removal" in table
+        summary = result.render_summary()
+        assert "smart phone share" in summary
+        assert "classifier vs ground truth" in summary
+
+    def test_analyze_empty_reports(self):
+        result = analyze_reports([])
+        assert result.report_count == 0
+        assert result.smart_phone_share == 0.0
+
+    def test_study_accepts_prebuilt_posts(self):
+        posts = generate_corpus(CorpusConfig(failure_reports=50), seed=20)
+        result = run_forum_study(posts=posts)
+        assert 30 <= result.report_count <= 60
+
+
+class TestDeviceClassBreakdown:
+    def test_split_covers_both_classes(self):
+        result = run_forum_study(seed=2003)
+        split = result.type_totals_by_device_class()
+        assert set(split) == {T.SMART_PHONE, T.CONVENTIONAL}
+        for distribution in split.values():
+            assert sum(distribution.values()) == pytest.approx(100.0)
+
+    def test_output_failures_dominate_both_classes(self):
+        result = run_forum_study(seed=2003)
+        split = result.type_totals_by_device_class()
+        for distribution in split.values():
+            top = max(distribution.items(), key=lambda kv: kv[1])[0]
+            assert top == T.OUTPUT_FAILURE
+
+    def test_empty_reports(self):
+        result = analyze_reports([])
+        assert result.type_totals_by_device_class() == {}

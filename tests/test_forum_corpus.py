@@ -1,0 +1,117 @@
+"""Tests for the forum taxonomy and corpus generator."""
+
+import pytest
+
+from repro.forum import taxonomy as T
+from repro.forum.corpus import (
+    ACTIVITY_TARGET,
+    TABLE1_TARGET,
+    CorpusConfig,
+    generate_corpus,
+)
+
+
+class TestTaxonomy:
+    def test_five_failure_types(self):
+        assert len(T.FAILURE_TYPES) == 5
+
+    def test_six_recovery_actions(self):
+        assert len(T.RECOVERY_ACTIONS) == 6
+
+    def test_severity_mapping(self):
+        assert T.severity_for_recovery(T.SERVICE) == T.SEVERITY_HIGH
+        assert T.severity_for_recovery(T.REBOOT) == T.SEVERITY_MEDIUM
+        assert T.severity_for_recovery(T.BATTERY_REMOVAL) == T.SEVERITY_MEDIUM
+        assert T.severity_for_recovery(T.REPEAT) == T.SEVERITY_LOW
+        assert T.severity_for_recovery(T.WAIT) == T.SEVERITY_LOW
+        assert T.severity_for_recovery(T.UNREPORTED) is None
+
+    def test_unknown_recovery_rejected(self):
+        with pytest.raises(ValueError):
+            T.severity_for_recovery("prayer")
+
+
+class TestTable1Target:
+    def test_covers_full_grid(self):
+        for failure_type in T.FAILURE_TYPES:
+            for recovery in T.RECOVERY_ACTIONS:
+                assert (failure_type, recovery) in TABLE1_TARGET
+
+    def test_sums_to_one_hundred(self):
+        assert sum(TABLE1_TARGET.values()) == pytest.approx(100.0, abs=0.1)
+
+    def test_row_totals_match_paper(self):
+        def row(failure_type):
+            return sum(
+                pct for (ft, _), pct in TABLE1_TARGET.items() if ft == failure_type
+            )
+
+        assert row(T.OUTPUT_FAILURE) == pytest.approx(36.3, abs=0.1)
+        assert row(T.FREEZE) == pytest.approx(25.3, abs=0.1)
+        assert row(T.UNSTABLE_BEHAVIOR) == pytest.approx(18.5, abs=0.1)
+        assert row(T.SELF_SHUTDOWN) == pytest.approx(16.9, abs=0.1)
+        assert row(T.INPUT_FAILURE) == pytest.approx(3.0, abs=0.1)
+
+    def test_activity_target_sums_to_one_hundred(self):
+        assert sum(ACTIVITY_TARGET.values()) == pytest.approx(100.0, abs=0.1)
+
+
+class TestGeneration:
+    def test_failure_report_count(self):
+        posts = generate_corpus(CorpusConfig(failure_reports=100), seed=1)
+        assert sum(1 for p in posts if p.is_failure_report) == 100
+
+    def test_chatter_ratio(self):
+        posts = generate_corpus(
+            CorpusConfig(failure_reports=100, chatter_ratio=2.0), seed=1
+        )
+        assert sum(1 for p in posts if not p.is_failure_report) == 200
+
+    def test_deterministic(self):
+        a = generate_corpus(seed=7)
+        b = generate_corpus(seed=7)
+        assert [p.text for p in a] == [p.text for p in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(seed=7)
+        b = generate_corpus(seed=8)
+        assert [p.text for p in a] != [p.text for p in b]
+
+    def test_dates_in_study_window(self):
+        for post in generate_corpus(seed=2):
+            year, month = post.date.split("-")
+            assert 2003 <= int(year) <= 2006
+            if int(year) == 2006:
+                assert int(month) <= 3
+
+    def test_smart_share_near_target(self):
+        posts = generate_corpus(CorpusConfig(failure_reports=2000), seed=3)
+        failures = [p for p in posts if p.is_failure_report]
+        share = sum(1 for p in failures if p.device_class == T.SMART_PHONE) / len(
+            failures
+        )
+        assert share == pytest.approx(0.223, abs=0.03)
+
+    def test_unreported_posts_have_no_recovery_phrase(self):
+        posts = generate_corpus(seed=4)
+        for post in posts:
+            if post.recovery == T.UNREPORTED:
+                lower = post.text.lower()
+                assert "service center" not in lower
+                assert "take the battery out" not in lower
+
+    def test_vendor_matches_model(self):
+        for post in generate_corpus(seed=5):
+            assert post.vendor.split("-")[0].lower() in post.model.lower().replace(
+                "-", " "
+            ) or post.model.startswith(post.vendor.split("-")[0])
+
+    def test_chatter_has_no_labels(self):
+        for post in generate_corpus(seed=6):
+            if not post.is_failure_report:
+                assert post.recovery is None
+                assert post.activity is None
+
+    def test_posts_mention_model(self):
+        for post in generate_corpus(seed=7)[:50]:
+            assert post.model.lower() in post.text.lower()

@@ -1,0 +1,238 @@
+"""End-to-end integration: the paper-scale campaign reproduces the
+paper's shape.
+
+These assertions are deliberately loose (factor-level, not
+percent-level): the reproduction targets *who wins and by roughly what
+factor*, not the authors' exact fleet.  Every bound here corresponds to
+a claim in the paper's §6 or §4.
+"""
+
+import pytest
+
+from repro.experiments import paper
+from repro.symbian import panics as P
+
+
+@pytest.fixture(scope="module")
+def report(paper_campaign):
+    return paper_campaign.report
+
+
+class TestScale:
+    def test_twenty_five_phones(self, paper_campaign):
+        assert paper_campaign.dataset.phone_count == 25
+
+    def test_hundreds_of_hl_events(self, report):
+        assert report.availability.freeze_count > 150
+        assert report.availability.self_shutdown_count > 200
+        assert len(report.study.shutdowns) > 800
+
+    def test_hundreds_of_panics(self, report):
+        assert report.panic_table.total > 200
+
+
+class TestHeadlineFindings:
+    def test_mtbf_freeze_within_factor_1_5(self, report):
+        assert (
+            paper.MTBF_FREEZE_HOURS / 1.5
+            < report.availability.mtbf_freeze_hours
+            < paper.MTBF_FREEZE_HOURS * 1.5
+        )
+
+    def test_mtbs_within_factor_1_5(self, report):
+        assert (
+            paper.MTBS_HOURS / 1.5
+            < report.availability.mtbf_self_shutdown_hours
+            < paper.MTBS_HOURS * 1.5
+        )
+
+    def test_failure_every_roughly_11_days(self, report):
+        assert 8.0 < report.availability.failure_interval_days < 16.0
+
+    def test_self_shutdowns_more_frequent_than_freezes(self, report):
+        # Paper: MTBS (250 h) < MTBFr (313 h).
+        assert (
+            report.availability.mtbf_self_shutdown_hours
+            < report.availability.mtbf_freeze_hours
+        )
+
+
+class TestFigure2:
+    def test_self_shutdown_fraction_near_quarter(self, report):
+        assert 0.15 < report.study.self_shutdown_fraction() < 0.35
+
+    def test_median_self_shutdown_near_80s(self, report):
+        assert 40.0 < report.study.median_self_shutdown_duration() < 160.0
+
+    def test_night_mode_near_30000s(self, report):
+        assert 20_000.0 < report.study.night_mode_duration() < 45_000.0
+
+    def test_bimodality(self, report):
+        """Both lobes populated, valley between them sparse."""
+        hist = dict()
+        for lo, hi, count in report.study.duration_histogram(
+            [0, 360, 3600, 18000, 60000]
+        ):
+            hist[(lo, hi)] = count
+        short = hist[(0, 360)]
+        valley = hist[(360, 3600)]
+        night = hist[(18000, 60000)]
+        assert short > valley
+        assert night > valley
+
+
+class TestTable2:
+    def test_kern_exec_3_dominates_at_about_56_percent(self, report):
+        share = report.panic_table.access_violation_percent
+        assert 40.0 < share < 70.0
+        top = max(report.panic_table.rows, key=lambda r: r.count)
+        assert top.panic_id == P.KERN_EXEC_3
+
+    def test_heap_share_near_18_percent(self, report):
+        assert 10.0 < report.panic_table.heap_management_percent < 28.0
+
+    def test_all_twenty_types_appear_at_scale(self, report):
+        observed = {row.panic_id for row in report.panic_table.rows}
+        # Rare types (0.25% ~ 1 event) can be missed in one campaign;
+        # require at least 16 of the 20 and all the non-rare ones.
+        assert len(observed & set(paper.PAPER_TABLE2)) >= 16
+        for pid, pct in paper.PAPER_TABLE2.items():
+            if pct >= 1.0:
+                assert pid in observed, f"missing {pid}"
+
+    def test_rank_correlation_with_paper(self, report):
+        """Major panic types appear in roughly the paper's order."""
+        measured = {row.panic_id: row.percent for row in report.panic_table.rows}
+        majors = [pid for pid, pct in paper.PAPER_TABLE2.items() if pct >= 2.0]
+        for pid in majors:
+            assert measured.get(pid, 0.0) > 0.5
+
+
+class TestFigure3:
+    def test_cascade_share_near_25_percent(self, report):
+        assert 12.0 < report.bursts.cascade_panic_percent < 40.0
+
+    def test_size_distribution_decreasing(self, report):
+        dist = report.bursts.size_distribution()
+        assert dist[1] > dist.get(2, 0.0) > dist.get(3, 0.0)
+
+    def test_singletons_majority(self, report):
+        assert report.bursts.size_distribution()[1] > 55.0
+
+
+class TestFigure5:
+    def test_about_half_of_panics_hl_related(self, report):
+        assert 38.0 < report.hl.related_percent < 65.0
+
+    def test_all_shutdowns_adds_a_few_percent(self, report):
+        delta = (
+            report.hl.related_percent_all_shutdowns - report.hl.related_percent
+        )
+        assert 0.0 <= delta < 12.0
+
+    def test_application_categories_never_hl(self, report):
+        # "Never" up to chance coincidence: with ~900 HL events on the
+        # timeline, an isolated app panic can land within five minutes
+        # of an unrelated HL event.  Allow at most one such collision.
+        for category in (P.EIKON_LISTBOX, P.EIKCOCTL, P.MMF_AUDIO_CLIENT, P.KERN_SVR):
+            row = report.hl.row(category)
+            if row is not None and row.total > 0:
+                assert row.related <= 1
+
+    def test_msgs_client_always_self_shutdown(self, report):
+        row = report.hl.row(P.MSGS_CLIENT)
+        assert row is not None and row.total > 0
+        assert row.self_shutdown_related == row.total
+
+    def test_system_categories_mostly_hl(self, report):
+        for category in (P.KERN_EXEC, P.E32USER_CBASE, P.USER):
+            row = report.hl.row(category)
+            assert row is not None
+            assert row.related_percent > 30.0
+
+    def test_viewsrv_freeze_symptomatic(self, report):
+        row = report.hl.row(P.VIEW_SRV)
+        if row is not None and row.related:
+            assert row.freeze_related >= row.self_shutdown_related
+
+
+class TestTable3:
+    def test_realtime_share_near_45_percent(self, report):
+        assert 30.0 < report.activity.realtime_percent < 60.0
+
+    def test_voice_dominates_messaging(self, report):
+        totals = report.activity.row_totals
+        assert totals.get("voice_call", 0.0) > totals.get("message", 0.0)
+
+    def test_user_panics_dominated_by_voice(self, report):
+        # USER defects activate only during voice calls; a straggling
+        # cascade panic can land just after the call's end record.
+        voice = report.activity.cells.get(("voice_call", P.USER), 0.0)
+        other = report.activity.cells.get(
+            ("unspecified", P.USER), 0.0
+        ) + report.activity.cells.get(("message", P.USER), 0.0)
+        assert voice >= 4 * max(other, 1e-9) or other == 0.0
+
+    def test_viewsrv_panics_overwhelmingly_during_voice(self, report):
+        # ViewSrv defects activate only during calls, but a propagated
+        # cascade panic can land moments after the call's end record —
+        # the same measurement noise a real log would show.  Voice must
+        # still dominate the ViewSrv row.
+        voice = report.activity.cells.get(("voice_call", P.VIEW_SRV), 0.0)
+        other = report.activity.cells.get(
+            ("unspecified", P.VIEW_SRV), 0.0
+        ) + report.activity.cells.get(("message", P.VIEW_SRV), 0.0)
+        assert voice > other
+
+    def test_unspecified_is_largest_row(self, report):
+        totals = report.activity.row_totals
+        assert totals["unspecified"] == max(totals.values())
+
+
+class TestTable4AndFigure6:
+    def test_modal_running_apps_is_one(self, report):
+        assert report.runapps.modal_app_count == 1
+
+    def test_distribution_decreasing_after_mode(self, report):
+        dist = report.runapps.count_distribution
+        assert dist.get(1, 0.0) > dist.get(2, 0.0) > dist.get(3, 0.0)
+
+    def test_messages_among_top_apps(self, report):
+        top = [app for app, _pct in report.runapps.top_apps(4)]
+        assert "Messages" in top or "Telephone" in top
+
+    def test_table_percentages_bounded(self, report):
+        for cell in report.runapps.table.values():
+            for value in cell.values():
+                assert 0.0 <= value <= 100.0
+
+
+class TestAnalysisVsGroundTruth:
+    """The offline pipeline recovers what the simulator actually did."""
+
+    def test_freeze_recovery(self, paper_campaign):
+        truth = paper_campaign.ground_truth
+        measured = paper_campaign.report.availability.freeze_count
+        assert measured <= truth["freezes"]
+        # Losses only from freezes unresolved at campaign end or during
+        # logger-off windows: a small fraction.
+        assert measured >= truth["freezes"] * 0.9
+
+    def test_panic_recovery(self, paper_campaign):
+        truth = paper_campaign.ground_truth
+        measured = paper_campaign.dataset.total_panics
+        assert measured <= truth["panics"]
+        assert measured >= truth["panics"] * 0.9
+
+    def test_self_shutdown_filter_quality(self, paper_campaign):
+        truth = paper_campaign.ground_truth
+        measured = paper_campaign.report.availability.self_shutdown_count
+        # The 360 s filter misclassifies some quick user reboots as
+        # self-shutdowns and some slow self-shutdowns as user ones;
+        # the paper accepts the same confusion.
+        assert measured == pytest.approx(truth["self_shutdowns"], rel=0.25)
+
+    def test_observed_hours_recovered(self, paper_campaign):
+        truth = paper_campaign.ground_truth
+        measured = paper_campaign.dataset.total_observed_hours()
+        assert measured == pytest.approx(truth["observed_hours"], rel=0.02)

@@ -1,0 +1,231 @@
+"""Tests for the logger daemon and its active objects, run against a
+real OS runtime on a single simulated phone."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.records import (
+    ActivityRecord,
+    BEAT_ALIVE,
+    BEAT_LOWBT,
+    BEAT_MAOFF,
+    BEAT_NONE,
+    BEAT_REBOOT,
+    BootRecord,
+    EnrollRecord,
+    PanicRecord,
+    PowerRecord,
+    RunningAppsRecord,
+)
+from repro.logger.daemon import FailureDataLogger, LoggerConfig
+from repro.logger.heartbeat import BeatsFile
+from repro.logger.logfile import LogStorage
+from repro.logger.transfer import CollectionServer
+from repro.phone.device import OSRuntime
+from repro.symbian.errors import PanicRaised
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator()
+    os_runtime = OSRuntime(sim, "phone-test")
+    storage = LogStorage("phone-test")
+    beats = BeatsFile()
+    daemon = FailureDataLogger(sim, os_runtime, storage, beats)
+    return sim, os_runtime, storage, beats, daemon
+
+
+class TestStartup:
+    def test_first_boot_records_none_beat(self, rig):
+        sim, _os, storage, _beats, daemon = rig
+        daemon.start()
+        boots = [r for r in storage.records() if isinstance(r, BootRecord)]
+        assert len(boots) == 1
+        assert boots[0].last_beat_kind == BEAT_NONE
+
+    def test_enroll_record_written_first(self, rig):
+        sim, _os, storage, _beats, daemon = rig
+        enroll = EnrollRecord(0.0, "phone-test", "8.0", "Italy")
+        daemon.start(enroll)
+        records = storage.records()
+        assert isinstance(records[0], EnrollRecord)
+        assert isinstance(records[1], BootRecord)
+
+    def test_initial_runapp_snapshot(self, rig):
+        sim, os_runtime, storage, _beats, daemon = rig
+        os_runtime.apparch.app_started("Clock")
+        daemon.start()
+        snaps = [r for r in storage.records() if isinstance(r, RunningAppsRecord)]
+        assert snaps[0].apps == ("Clock",)
+
+    def test_double_start_rejected(self, rig):
+        _sim, _os, _storage, _beats, daemon = rig
+        daemon.start()
+        with pytest.raises(ValueError):
+            daemon.start()
+
+    def test_heartbeat_started(self, rig):
+        _sim, _os, _storage, beats, daemon = rig
+        daemon.start()
+        assert beats.last_event()[0] == BEAT_ALIVE
+
+
+class TestPanicCapture:
+    def test_panic_recorded_with_category_type_process(self, rig):
+        sim, os_runtime, storage, _beats, daemon = rig
+        daemon.start()
+        process = os_runtime.kernel.create_process("Camera")
+        with pytest.raises(PanicRaised):
+            os_runtime.kernel.execute(process, lambda: process.space.read(0))
+        panics = [r for r in storage.records() if isinstance(r, PanicRecord)]
+        assert len(panics) == 1
+        assert panics[0].category == "KERN-EXEC"
+        assert panics[0].ptype == 3
+        assert panics[0].process == "Camera"
+
+    def test_multiple_panics_in_order(self, rig):
+        sim, os_runtime, storage, _beats, daemon = rig
+        daemon.start()
+        for name in ("A", "B"):
+            process = os_runtime.kernel.create_process(name)
+            with pytest.raises(PanicRaised):
+                os_runtime.kernel.execute(process, lambda p=process: p.space.read(0))
+        panics = [r for r in storage.records() if isinstance(r, PanicRecord)]
+        assert [p.process for p in panics] == ["A", "B"]
+
+    def test_panics_after_detach_not_recorded(self, rig):
+        sim, os_runtime, storage, _beats, daemon = rig
+        daemon.start()
+        daemon.notify_shutdown("user")
+        process = os_runtime.kernel.create_process("Late")
+        with pytest.raises(PanicRaised):
+            os_runtime.kernel.execute(process, lambda: process.space.read(0))
+        panics = [r for r in storage.records() if isinstance(r, PanicRecord)]
+        assert panics == []
+
+
+class TestActivityCapture:
+    def test_logdb_events_become_activity_records(self, rig):
+        sim, os_runtime, storage, _beats, daemon = rig
+        daemon.start()
+        os_runtime.logdb.add_event(5.0, "voice_call", "start")
+        os_runtime.logdb.add_event(65.0, "voice_call", "end")
+        acts = [r for r in storage.records() if isinstance(r, ActivityRecord)]
+        assert [(a.kind, a.phase) for a in acts] == [
+            ("voice_call", "start"),
+            ("voice_call", "end"),
+        ]
+
+    def test_apps_changed_recorded(self, rig):
+        sim, os_runtime, storage, _beats, daemon = rig
+        daemon.start()
+        os_runtime.apparch.app_started("Messages")
+        os_runtime.apparch.app_stopped("Messages")
+        snaps = [r for r in storage.records() if isinstance(r, RunningAppsRecord)]
+        assert [s.apps for s in snaps] == [(), ("Messages",), ()]
+
+    def test_power_transitions_recorded(self, rig):
+        sim, os_runtime, storage, _beats, daemon = rig
+        daemon.start()
+        os_runtime.sysagent.set_charging(5.0, True)
+        os_runtime.sysagent.set_charging(9.0, False)
+        power = [r for r in storage.records() if isinstance(r, PowerRecord)]
+        assert [p.state for p in power] == ["charging", "discharging"]
+
+
+class TestShutdownPaths:
+    @pytest.mark.parametrize(
+        "kind,beat",
+        [("user", BEAT_REBOOT), ("self", BEAT_REBOOT), ("lowbt", BEAT_LOWBT)],
+    )
+    def test_graceful_kinds_write_final_beat(self, rig, kind, beat):
+        sim, _os, _storage, beats, daemon = rig
+        daemon.start()
+        sim.run_until(100.0)
+        daemon.notify_shutdown(kind)
+        assert beats.last_event() == (beat, 100.0)
+
+    def test_maoff_path(self, rig):
+        sim, _os, _storage, beats, daemon = rig
+        daemon.start()
+        daemon.notify_shutdown("maoff")
+        assert beats.last_event()[0] == BEAT_MAOFF
+
+    def test_unknown_kind_rejected(self, rig):
+        _sim, _os, _storage, _beats, daemon = rig
+        daemon.start()
+        with pytest.raises(ValueError):
+            daemon.notify_shutdown("meteor")
+
+    def test_halt_leaves_alive_beat(self, rig):
+        sim, _os, _storage, beats, daemon = rig
+        daemon.start()
+        sim.run_until(200.0)
+        daemon.halt()
+        assert beats.last_event()[0] == BEAT_ALIVE
+        assert not daemon.active
+
+    def test_next_boot_sees_previous_beat(self, rig):
+        sim, os_runtime, storage, beats, daemon = rig
+        daemon.start()
+        sim.run_until(100.0)
+        daemon.notify_shutdown("user")
+        # next power cycle
+        sim.run_until(130.0)
+        daemon2 = FailureDataLogger(sim, os_runtime, storage, beats)
+        daemon2.start()
+        boots = [r for r in storage.records() if isinstance(r, BootRecord)]
+        assert boots[-1].last_beat_kind == BEAT_REBOOT
+        assert boots[-1].off_duration == pytest.approx(30.0)
+
+
+class TestTransfer:
+    def test_sync_ships_only_new_lines(self, rig):
+        _sim, _os, storage, _beats, daemon = rig
+        daemon.start()
+        collector = CollectionServer()
+        first = collector.sync(storage)
+        assert first == storage.line_count
+        assert collector.sync(storage) == 0
+        storage.append_record(PanicRecord(1.0, "USER", 11, "X"))
+        assert collector.sync(storage) == 1
+        assert collector.total_lines == storage.line_count
+
+    def test_dataset_keyed_by_phone(self, rig):
+        _sim, _os, storage, _beats, daemon = rig
+        daemon.start()
+        collector = CollectionServer()
+        collector.sync(storage)
+        assert collector.phone_ids() == ("phone-test",)
+        assert collector.lines_for("phone-test") == storage.lines()
+
+    def test_lines_for_unknown_phone_empty(self):
+        assert CollectionServer().lines_for("ghost") == []
+
+    def test_sync_counter(self, rig):
+        _sim, _os, storage, _beats, _daemon = rig
+        collector = CollectionServer()
+        collector.sync(storage)
+        collector.sync(storage)
+        assert collector.syncs == 2
+
+
+class TestLoggerConfig:
+    def test_defaults(self):
+        config = LoggerConfig()
+        assert config.heartbeat_period == 60.0
+        assert config.heartbeat_mode == "virtual"
+
+    def test_periodic_config_respected(self):
+        sim = Simulator()
+        os_runtime = OSRuntime(sim, "p")
+        daemon = FailureDataLogger(
+            sim,
+            os_runtime,
+            LogStorage("p"),
+            BeatsFile(),
+            LoggerConfig(heartbeat_period=5.0, heartbeat_mode="periodic"),
+        )
+        daemon.start()
+        sim.run_until(26.0)
+        assert daemon.heartbeat.beats.writes == 6  # start + 5 ticks

@@ -1,0 +1,160 @@
+"""Tests for the Heartbeat AO and beats file, including the
+virtual/periodic equivalence property."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Simulator
+from repro.core.records import BEAT_ALIVE, BEAT_NONE, BEAT_REBOOT
+from repro.logger.heartbeat import (
+    MODE_PERIODIC,
+    MODE_VIRTUAL,
+    BeatsFile,
+    Heartbeat,
+)
+
+
+class TestBeatsFile:
+    def test_empty_reads_none(self):
+        assert BeatsFile().last_event() == (BEAT_NONE, 0.0)
+
+    def test_last_write_wins(self):
+        beats = BeatsFile()
+        beats.write(BEAT_ALIVE, 1.0)
+        beats.write(BEAT_REBOOT, 2.0)
+        assert beats.last_event() == (BEAT_REBOOT, 2.0)
+
+    def test_write_counter(self):
+        beats = BeatsFile()
+        beats.write(BEAT_ALIVE, 1.0)
+        beats.write(BEAT_ALIVE, 2.0)
+        assert beats.writes == 2
+
+
+class TestLifecycle:
+    def test_start_writes_alive(self):
+        sim = Simulator()
+        beats = BeatsFile()
+        hb = Heartbeat(beats, sim, period=60.0)
+        hb.start(0.0)
+        assert beats.last_event() == (BEAT_ALIVE, 0.0)
+        assert hb.running
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        hb = Heartbeat(BeatsFile(), sim)
+        hb.start(0.0)
+        with pytest.raises(ValueError):
+            hb.start(1.0)
+
+    def test_shutdown_writes_final_kind(self):
+        sim = Simulator()
+        beats = BeatsFile()
+        hb = Heartbeat(beats, sim, period=60.0)
+        hb.start(0.0)
+        sim.run_until(125.0)
+        hb.shutdown(BEAT_REBOOT, 125.0)
+        assert beats.last_event() == (BEAT_REBOOT, 125.0)
+        assert not hb.running
+
+    def test_halt_leaves_quantized_alive(self):
+        sim = Simulator()
+        beats = BeatsFile()
+        hb = Heartbeat(beats, sim, period=60.0, mode=MODE_VIRTUAL)
+        hb.start(0.0)
+        sim.run_until(125.0)
+        hb.halt(125.0)
+        kind, time = beats.last_event()
+        assert kind == BEAT_ALIVE
+        assert time == 120.0  # latest grid point <= halt time
+
+    def test_halt_exactly_on_grid(self):
+        sim = Simulator()
+        beats = BeatsFile()
+        hb = Heartbeat(beats, sim, period=60.0)
+        hb.start(10.0)
+        hb.halt(130.0)
+        assert beats.last_event() == (BEAT_ALIVE, 130.0)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat(BeatsFile(), Simulator(), period=0.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat(BeatsFile(), Simulator(), mode="psychic")
+
+
+class TestPeriodicMode:
+    def test_beats_written_every_period(self):
+        sim = Simulator()
+        beats = BeatsFile()
+        hb = Heartbeat(beats, sim, period=10.0, mode=MODE_PERIODIC)
+        hb.start(0.0)
+        sim.run_until(35.0)
+        # start + ticks at 10, 20, 30
+        assert beats.writes == 4
+        assert beats.last_event() == (BEAT_ALIVE, 30.0)
+
+    def test_halt_stops_ticks(self):
+        sim = Simulator()
+        beats = BeatsFile()
+        hb = Heartbeat(beats, sim, period=10.0, mode=MODE_PERIODIC)
+        hb.start(0.0)
+        sim.run_until(15.0)
+        hb.halt(15.0)
+        sim.run_until(100.0)
+        assert beats.last_event() == (BEAT_ALIVE, 10.0)
+
+    def test_shutdown_stops_ticks(self):
+        sim = Simulator()
+        beats = BeatsFile()
+        hb = Heartbeat(beats, sim, period=10.0, mode=MODE_PERIODIC)
+        hb.start(0.0)
+        sim.run_until(15.0)
+        hb.shutdown(BEAT_REBOOT, 15.0)
+        sim.run_until(100.0)
+        assert beats.last_event() == (BEAT_REBOOT, 15.0)
+
+
+@given(
+    period=st.floats(min_value=1.0, max_value=600.0),
+    start=st.floats(min_value=0.0, max_value=1000.0),
+    uptime=st.floats(min_value=0.0, max_value=5000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_virtual_and_periodic_modes_agree_on_halt(period, start, uptime):
+    """The central heartbeat property: the observable outcome (last beat
+    at a freeze) is identical in the cheap virtual mode and the faithful
+    periodic mode.
+
+    Halts landing within a microsecond of a beat-grid point are
+    excluded: at the exact boundary, float rounding legitimately tips
+    the two computations (``start + k*period`` vs ``elapsed / period``)
+    to opposite sides.
+    """
+    phase = uptime % period
+    assume(phase > 1e-6 and period - phase > 1e-6)
+    halt_time = start + uptime
+
+    sim_v = Simulator()
+    beats_v = BeatsFile()
+    hb_v = Heartbeat(beats_v, sim_v, period=period, mode=MODE_VIRTUAL)
+    sim_v.run_until(start)
+    hb_v.start(start)
+    sim_v.run_until(halt_time)
+    hb_v.halt(halt_time)
+
+    sim_p = Simulator()
+    beats_p = BeatsFile()
+    hb_p = Heartbeat(beats_p, sim_p, period=period, mode=MODE_PERIODIC)
+    sim_p.run_until(start)
+    hb_p.start(start)
+    sim_p.run_until(halt_time)
+    hb_p.halt(halt_time)
+
+    kind_v, time_v = beats_v.last_event()
+    kind_p, time_p = beats_p.last_event()
+    assert kind_v == kind_p == BEAT_ALIVE
+    assert time_v == pytest.approx(time_p, abs=1e-6)

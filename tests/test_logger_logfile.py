@@ -1,0 +1,147 @@
+"""Tests for log serialization, parsing, and storage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import LogFormatError
+from repro.core.records import (
+    ActivityRecord,
+    BootRecord,
+    EnrollRecord,
+    PanicRecord,
+    PowerRecord,
+    RunningAppsRecord,
+)
+from repro.logger.logfile import LogStorage, parse_line, parse_lines, serialize_record
+
+
+SAMPLES = [
+    EnrollRecord(0.0, "phone-01", "8.0", "Italy"),
+    BootRecord(10.0, "NONE", 0.0),
+    PanicRecord(20.0, "KERN-EXEC", 3, "Camera"),
+    ActivityRecord(30.0, "voice_call", "start"),
+    RunningAppsRecord(40.0, ("Messages", "Clock")),
+    PowerRecord(50.0, 0.75, "discharging"),
+]
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("record", SAMPLES, ids=lambda r: r.TAG)
+    def test_roundtrip(self, record):
+        assert parse_line(serialize_record(record)) == record
+
+    def test_line_is_single_line(self):
+        for record in SAMPLES:
+            assert "\n" not in serialize_record(record)
+
+    def test_separator_in_field_rejected(self):
+        record = PanicRecord(1.0, "KERN|EXEC", 3, "x")
+        with pytest.raises(LogFormatError):
+            serialize_record(record)
+
+    def test_newline_in_field_rejected(self):
+        record = EnrollRecord(1.0, "phone\n01", "8.0", "Italy")
+        with pytest.raises(LogFormatError):
+            serialize_record(record)
+
+
+class TestParsing:
+    def test_empty_line_rejected(self):
+        with pytest.raises(LogFormatError):
+            parse_line("")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(LogFormatError):
+            parse_line("WHAT|1.0|x")
+
+    def test_truncated_line_rejected(self):
+        line = serialize_record(SAMPLES[2])
+        with pytest.raises(LogFormatError):
+            parse_line(line[: len(line) // 2])
+
+    def test_whitespace_stripped(self):
+        line = "  " + serialize_record(SAMPLES[1]) + "  \n"
+        assert parse_line(line) == SAMPLES[1]
+
+    def test_tolerant_mode_skips_bad_lines(self):
+        lines = [serialize_record(SAMPLES[0]), "GARBAGE", serialize_record(SAMPLES[1])]
+        records = list(parse_lines(lines))
+        assert len(records) == 2
+
+    def test_tolerant_mode_skips_blank_lines(self):
+        lines = ["", serialize_record(SAMPLES[0]), "   "]
+        assert len(list(parse_lines(lines))) == 1
+
+    def test_strict_mode_raises(self):
+        lines = [serialize_record(SAMPLES[0]), "GARBAGE"]
+        with pytest.raises(LogFormatError):
+            list(parse_lines(lines, strict=True))
+
+
+class TestLogStorage:
+    def test_append_and_read_back(self):
+        storage = LogStorage("p")
+        for record in SAMPLES:
+            storage.append_record(record)
+        assert storage.records() == SAMPLES
+        assert storage.line_count == len(SAMPLES)
+
+    def test_lines_cursor(self):
+        storage = LogStorage("p")
+        storage.append_record(SAMPLES[0])
+        storage.append_record(SAMPLES[1])
+        assert len(storage.lines(1)) == 1
+
+    def test_truncate_tail_models_power_loss(self):
+        storage = LogStorage("p")
+        storage.append_record(SAMPLES[0])
+        storage.append_record(SAMPLES[2])
+        storage.truncate_tail()
+        records = storage.records()
+        assert records == [SAMPLES[0]]  # truncated line skipped
+
+    def test_truncate_empty_storage(self):
+        LogStorage("p").truncate_tail()
+
+    def test_last_record(self):
+        storage = LogStorage("p")
+        storage.append_record(SAMPLES[0])
+        storage.append_record(SAMPLES[1])
+        assert storage.last_record() == SAMPLES[1]
+
+    def test_last_record_skips_corruption(self):
+        storage = LogStorage("p")
+        storage.append_record(SAMPLES[0])
+        storage.append_raw("CORRUPT???")
+        assert storage.last_record() == SAMPLES[0]
+
+    def test_last_record_empty(self):
+        assert LogStorage("p").last_record() is None
+
+    def test_strict_records_raise_on_corruption(self):
+        storage = LogStorage("p")
+        storage.append_raw("JUNK")
+        with pytest.raises(LogFormatError):
+            storage.records(strict=True)
+
+
+@given(
+    time=st.floats(min_value=0, max_value=1e8),
+    apps=st.lists(
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        max_size=6,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_runapp_roundtrip_property(time, apps):
+    record = RunningAppsRecord(round(time, 3), tuple(apps))
+    parsed = parse_line(serialize_record(record))
+    assert parsed.apps == record.apps
+    assert parsed.time == pytest.approx(record.time, abs=1e-3)

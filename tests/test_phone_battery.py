@@ -1,0 +1,113 @@
+"""Tests for the battery model."""
+
+import pytest
+
+from repro.core.clock import HOUR
+from repro.phone.battery import (
+    CALL_DRAIN_PER_SECOND,
+    IDLE_DRAIN_PER_HOUR,
+    SHUTDOWN_LEVEL,
+    Battery,
+)
+
+
+class TestDrain:
+    def test_off_battery_holds_charge(self):
+        battery = Battery(level=0.8)
+        assert battery.level_at(100 * HOUR) == pytest.approx(0.8)
+
+    def test_on_battery_drains_linearly(self):
+        battery = Battery(level=1.0)
+        battery.power_on(0.0)
+        expected = 1.0 - 2 * IDLE_DRAIN_PER_HOUR
+        assert battery.level_at(2 * HOUR) == pytest.approx(expected)
+
+    def test_level_floors_at_zero(self):
+        battery = Battery(level=0.01)
+        battery.power_on(0.0)
+        assert battery.level_at(100 * HOUR) == 0.0
+
+    def test_power_off_stops_drain(self):
+        battery = Battery(level=1.0)
+        battery.power_on(0.0)
+        battery.power_off(HOUR)
+        level_at_off = battery.level_at(HOUR)
+        assert battery.level_at(10 * HOUR) == pytest.approx(level_at_off)
+
+    def test_call_drain_extra(self):
+        battery = Battery(level=1.0)
+        battery.power_on(0.0)
+        battery.note_call_seconds(0.0, 600.0)
+        assert battery.level_at(0.0) == pytest.approx(
+            1.0 - 600.0 * CALL_DRAIN_PER_SECOND
+        )
+
+    def test_call_drain_ignored_when_off(self):
+        battery = Battery(level=1.0)
+        battery.note_call_seconds(0.0, 600.0)
+        assert battery.level_at(0.0) == pytest.approx(1.0)
+
+
+class TestCharging:
+    def test_charging_increases_level(self):
+        battery = Battery(level=0.2)
+        battery.power_on(0.0)
+        battery.start_charging(0.0)
+        assert battery.level_at(HOUR) > 0.2
+
+    def test_charge_caps_at_full(self):
+        battery = Battery(level=0.5)
+        battery.start_charging(0.0)
+        assert battery.level_at(10 * HOUR) == 1.0
+
+    def test_stop_charging_resumes_drain(self):
+        battery = Battery(level=0.5)
+        battery.power_on(0.0)
+        battery.start_charging(0.0)
+        battery.stop_charging(HOUR)
+        top = battery.level_at(HOUR)
+        assert battery.level_at(2 * HOUR) < top
+
+    def test_charging_flag(self):
+        battery = Battery()
+        assert not battery.charging
+        battery.start_charging(0.0)
+        assert battery.charging
+
+
+class TestShutdownPrediction:
+    def test_time_until_shutdown_level(self):
+        battery = Battery(level=1.0)
+        battery.power_on(0.0)
+        eta = battery.time_until_shutdown_level(0.0)
+        expected = (1.0 - SHUTDOWN_LEVEL) / IDLE_DRAIN_PER_HOUR * HOUR
+        assert eta == pytest.approx(expected)
+
+    def test_none_when_off(self):
+        battery = Battery(level=1.0)
+        assert battery.time_until_shutdown_level(0.0) is None
+
+    def test_none_when_charging(self):
+        battery = Battery(level=1.0)
+        battery.power_on(0.0)
+        battery.start_charging(0.0)
+        assert battery.time_until_shutdown_level(0.0) is None
+
+    def test_zero_when_already_flat(self):
+        battery = Battery(level=0.01)
+        battery.power_on(0.0)
+        assert battery.time_until_shutdown_level(0.0) == 0.0
+
+
+class TestSetLevel:
+    def test_set_level_clamps(self):
+        battery = Battery()
+        battery.set_level(0.0, 1.5)
+        assert battery.level_at(0.0) == 1.0
+        battery.set_level(1.0, -0.5)
+        assert battery.level_at(1.0) == 0.0
+
+    def test_repr(self):
+        battery = Battery()
+        battery.power_on(0.0)
+        assert "on" in repr(battery)

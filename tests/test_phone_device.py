@@ -1,0 +1,311 @@
+"""Tests for the SmartPhone lifecycle and activity plumbing."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.rand import RandomStreams
+from repro.core.records import (
+    ActivityRecord,
+    BEAT_ALIVE,
+    BEAT_REBOOT,
+    BootRecord,
+    PanicRecord,
+    RunningAppsRecord,
+)
+from repro.phone.device import (
+    SELF_SHUTDOWN_GRACE,
+    STATE_FROZEN,
+    STATE_OFF,
+    STATE_ON,
+    SmartPhone,
+)
+from repro.phone.profiles import make_profile
+from repro.symbian.errors import PanicRaised
+from repro.symbian.panics import PHONE_APP_2
+
+
+@pytest.fixture()
+def phone():
+    sim = Simulator()
+    profile = make_profile("phone-00", RandomStreams(1).fork("phone-00"))
+    return SmartPhone(sim, profile)
+
+
+def records_of(phone, cls):
+    return [r for r in phone.storage.records() if isinstance(r, cls)]
+
+
+class TestPowerLifecycle:
+    def test_initial_state_off(self, phone):
+        assert phone.state == STATE_OFF
+        assert not phone.is_on
+
+    def test_boot(self, phone):
+        phone.boot()
+        assert phone.is_on
+        assert phone.boot_count == 1
+        assert phone.daemon is not None and phone.daemon.active
+
+    def test_double_boot_rejected(self, phone):
+        phone.boot()
+        with pytest.raises(ValueError):
+            phone.boot()
+
+    def test_graceful_shutdown_writes_reboot_beat(self, phone):
+        phone.boot()
+        phone.sim.run_until(50.0)
+        phone.graceful_shutdown("user")
+        assert phone.state == STATE_OFF
+        assert phone.beats.last_event() == (BEAT_REBOOT, 50.0)
+
+    def test_shutdown_requires_on(self, phone):
+        with pytest.raises(ValueError):
+            phone.graceful_shutdown("user")
+
+    def test_invalid_shutdown_kind(self, phone):
+        phone.boot()
+        with pytest.raises(ValueError):
+            phone.graceful_shutdown("pull")
+
+    def test_freeze_leaves_alive_beat(self, phone):
+        phone.boot()
+        phone.sim.run_until(500.0)
+        phone.freeze()
+        assert phone.state == STATE_FROZEN
+        assert phone.beats.last_event()[0] == BEAT_ALIVE
+
+    def test_freeze_then_pull_then_boot_detects_freeze(self, phone):
+        phone.boot()
+        phone.sim.run_until(500.0)
+        phone.freeze()
+        phone.sim.run_until(600.0)
+        phone.battery_pull()
+        assert phone.state == STATE_OFF
+        phone.sim.run_until(700.0)
+        phone.boot()
+        boots = records_of(phone, BootRecord)
+        assert boots[-1].last_beat_kind == BEAT_ALIVE
+
+    def test_pull_requires_not_off(self, phone):
+        with pytest.raises(ValueError):
+            phone.battery_pull()
+
+    def test_shutdown_counts(self, phone):
+        phone.boot()
+        phone.graceful_shutdown("user")
+        phone.boot()
+        phone.freeze()
+        phone.battery_pull()
+        assert phone.shutdown_counts["user"] == 1
+        assert phone.shutdown_counts["pull"] == 1
+        assert phone.freeze_count == 1
+        assert phone.battery_pull_count == 1
+
+    def test_listeners_fired(self, phone):
+        events = []
+        phone.boot_listeners.append(lambda: events.append("boot"))
+        phone.shutdown_listeners.append(lambda kind: events.append(f"down:{kind}"))
+        phone.freeze_listeners.append(lambda: events.append("freeze"))
+        phone.boot()
+        phone.freeze()
+        phone.battery_pull()
+        assert events == ["boot", "freeze", "down:pull"]
+
+    def test_enroll_record_only_once(self, phone):
+        phone.boot()
+        phone.graceful_shutdown("user")
+        phone.boot()
+        from repro.core.records import EnrollRecord
+
+        enrolls = records_of(phone, EnrollRecord)
+        assert len(enrolls) == 1
+
+
+class TestApps:
+    def test_open_close(self, phone):
+        phone.boot()
+        phone.open_app("Camera")
+        assert phone.running_apps() == ("Camera",)
+        phone.close_app("Camera")
+        assert phone.running_apps() == ()
+
+    def test_open_twice_returns_same_process(self, phone):
+        phone.boot()
+        first = phone.open_app("Camera")
+        second = phone.open_app("Camera")
+        assert first is second
+
+    def test_close_unknown_ignored(self, phone):
+        phone.boot()
+        phone.close_app("Ghost")
+
+    def test_apps_cleared_on_shutdown(self, phone):
+        phone.boot()
+        phone.open_app("Camera")
+        phone.graceful_shutdown("user")
+        phone.boot()
+        assert phone.running_apps() == ()
+
+    def test_app_changes_logged(self, phone):
+        phone.boot()
+        phone.open_app("Camera")
+        phone.close_app("Camera")
+        snaps = records_of(phone, RunningAppsRecord)
+        assert [s.apps for s in snaps] == [(), ("Camera",), ()]
+
+    def test_panicking_app_removed_from_registry(self, phone):
+        phone.boot()
+        process = phone.open_app("Camera")
+        with pytest.raises(PanicRaised):
+            phone.os.kernel.execute(process, lambda: process.space.read(0))
+        assert phone.running_apps() == ()
+        assert phone.app_process("Camera") is None
+
+
+class TestActivities:
+    def test_call_lifecycle(self, phone):
+        phone.boot()
+        assert phone.begin_call(60.0)
+        assert phone.current_activity == "voice_call"
+        assert "Telephone" in phone.running_apps()
+        phone.end_call()
+        assert phone.current_activity is None
+        assert "Telephone" not in phone.running_apps()
+        acts = records_of(phone, ActivityRecord)
+        assert [(a.kind, a.phase) for a in acts] == [
+            ("voice_call", "start"),
+            ("voice_call", "end"),
+        ]
+
+    def test_message_lifecycle(self, phone):
+        phone.boot()
+        assert phone.begin_message(30.0)
+        phone.end_message()
+        acts = records_of(phone, ActivityRecord)
+        assert [(a.kind, a.phase) for a in acts] == [
+            ("message", "start"),
+            ("message", "end"),
+        ]
+
+    def test_no_concurrent_activities(self, phone):
+        phone.boot()
+        phone.begin_call(60.0)
+        assert not phone.begin_message(30.0)
+
+    def test_activity_rejected_when_off(self, phone):
+        assert not phone.begin_call(60.0)
+
+    def test_end_call_noop_without_call(self, phone):
+        phone.boot()
+        phone.end_call()
+
+    def test_consecutive_calls(self, phone):
+        phone.boot()
+        phone.begin_call(60.0)
+        phone.end_call()
+        assert phone.begin_call(60.0)
+        phone.end_call()
+        assert phone.os.phone_app.calls_completed == 2
+
+    def test_activity_listeners(self, phone):
+        seen = []
+        phone.activity_listeners.append(lambda k, p, d: seen.append((k, p)))
+        phone.boot()
+        phone.begin_message(10.0)
+        phone.end_message()
+        assert seen == [("message", "start"), ("message", "end")]
+
+
+class TestLogCorruption:
+    def test_freeze_with_corruption_truncates_last_line(self, phone):
+        phone.boot()
+        phone.open_app("Camera")
+        intact = list(phone.storage.lines())
+        phone.sim.run_until(100.0)
+        phone.freeze(corrupt_tail=True)
+        lines = phone.storage.lines()
+        assert len(lines) == len(intact)
+        assert lines[-1] != intact[-1]
+        assert lines[-1] == intact[-1][: len(lines[-1])]
+
+    def test_corrupted_log_still_parses_tolerantly(self, phone):
+        phone.boot()
+        phone.open_app("Camera")
+        phone.sim.run_until(100.0)
+        phone.freeze(corrupt_tail=True)
+        records = phone.storage.records()  # tolerant parse: no raise
+        # Only the truncated final line is lost.
+        assert len(records) == phone.storage.line_count - 1
+
+    def test_pull_with_corruption(self, phone):
+        phone.boot()
+        phone.sim.run_until(50.0)
+        phone.battery_pull(corrupt_tail=True)
+        assert phone.state == STATE_OFF
+
+    def test_freeze_without_corruption_keeps_lines_intact(self, phone):
+        phone.boot()
+        phone.open_app("Camera")
+        phone.sim.run_until(100.0)
+        phone.freeze()
+        assert len(phone.storage.records()) == phone.storage.line_count
+
+
+class TestCriticalPanics:
+    def test_phone_app_panic_triggers_self_shutdown(self, phone):
+        phone.boot()
+        os_runtime = phone.os
+        with pytest.raises(PanicRaised):
+            os_runtime.kernel.execute(
+                os_runtime.phone_process,
+                lambda: os_runtime.phone_app.transition("connected"),
+            )
+        assert phone.is_on  # not yet: the kernel grants grace time
+        phone.sim.run_until(phone.sim.now + SELF_SHUTDOWN_GRACE + 1)
+        assert phone.state == STATE_OFF
+        assert phone.shutdown_counts["self"] == 1
+
+    def test_self_shutdown_records_panic_and_reboot_beat(self, phone):
+        phone.boot()
+        os_runtime = phone.os
+        with pytest.raises(PanicRaised):
+            os_runtime.kernel.execute(
+                os_runtime.phone_process,
+                lambda: os_runtime.phone_app.transition("connected"),
+            )
+        phone.sim.run_until(phone.sim.now + SELF_SHUTDOWN_GRACE + 1)
+        panics = records_of(phone, PanicRecord)
+        assert panics[-1].category == PHONE_APP_2.category
+        assert phone.beats.last_event()[0] == BEAT_REBOOT
+
+
+class TestLoggerControl:
+    def test_stop_and_restart_logger(self, phone):
+        phone.boot()
+        phone.sim.run_until(10.0)
+        phone.stop_logger()
+        assert phone.daemon is None
+        assert phone.beats.last_event()[0] == "MAOFF"
+        phone.sim.run_until(20.0)
+        phone.restart_logger()
+        boots = records_of(phone, BootRecord)
+        assert boots[-1].last_beat_kind == "MAOFF"
+
+    def test_stop_twice_is_noop(self, phone):
+        phone.boot()
+        phone.stop_logger()
+        phone.stop_logger()
+
+    def test_restart_while_running_is_noop(self, phone):
+        phone.boot()
+        daemon = phone.daemon
+        phone.restart_logger()
+        assert phone.daemon is daemon
+
+    def test_panic_during_maoff_not_recorded(self, phone):
+        phone.boot()
+        phone.stop_logger()
+        process = phone.open_app("Camera")
+        with pytest.raises(PanicRaised):
+            phone.os.kernel.execute(process, lambda: process.space.read(0))
+        assert records_of(phone, PanicRecord) == []

@@ -1,0 +1,267 @@
+"""Tests for the fault model: every injector raises its panic, outcomes
+follow the policy, silent failures fire."""
+
+import pytest
+
+from repro.core.clock import HOUR
+from repro.core.engine import Simulator
+from repro.core.rand import RandomStreams
+from repro.core.records import PanicRecord
+from repro.phone.device import STATE_OFF, STATE_ON, SmartPhone
+from repro.phone.faults import (
+    CONTEXT_BACKGROUND,
+    CONTEXT_MESSAGE,
+    CONTEXT_VOICE,
+    FaultModel,
+    FaultModelConfig,
+    _build_injector_table,
+)
+from repro.phone.profiles import make_profile
+from repro.symbian import panics as P
+from repro.symbian.panics import PanicId
+
+
+def make_rig(config=None, seed=3):
+    sim = Simulator()
+    streams = RandomStreams(seed).fork("phone-00")
+    profile = make_profile("phone-00", streams)
+    device = SmartPhone(sim, profile)
+    config = config or FaultModelConfig(
+        # Quiet background processes: tests drive injection directly.
+        background_burst_rate=0.0,
+        silent_freeze_rate=0.0,
+        silent_shutdown_rate=0.0,
+        per_call_burst_prob=0.0,
+        per_message_burst_prob=0.0,
+    )
+    model = FaultModel(device, streams, config)
+    device.boot()
+    return sim, device, model
+
+
+def recorded_panics(device):
+    return [r for r in device.storage.records() if isinstance(r, PanicRecord)]
+
+
+class TestInjectors:
+    """Every Table 2 panic type has an injector that actually raises it
+    through the substrate."""
+
+    @pytest.mark.parametrize(
+        "panic_id",
+        sorted(_build_injector_table()),
+        ids=lambda pid: f"{pid.category}-{pid.ptype}",
+    )
+    def test_injector_raises_its_panic(self, panic_id):
+        sim, device, model = make_rig()
+        # Give non-critical injectors a victim app.
+        device.open_app("Camera")
+        victim = model._pick_victim(panic_id, CONTEXT_BACKGROUND)
+        injector = model._injectors[panic_id]
+        from repro.symbian.errors import PanicRaised
+
+        with pytest.raises(PanicRaised) as exc:
+            injector(model, victim)
+        assert exc.value.panic_id == panic_id
+
+    def test_inject_one_records_via_logger(self):
+        sim, device, model = make_rig()
+        device.open_app("Camera")
+        raised = model._inject_one(CONTEXT_BACKGROUND)
+        assert isinstance(raised, PanicId)
+        panics = recorded_panics(device)
+        assert len(panics) == 1
+        assert panics[0].category == raised.category
+
+    def test_inject_when_off_returns_none(self):
+        sim, device, model = make_rig()
+        device.graceful_shutdown("user")
+        assert model._inject_one(CONTEXT_BACKGROUND) is None
+
+
+class TestVictimSelection:
+    def test_phone_app_defect_hits_critical_phone_process(self):
+        sim, device, model = make_rig()
+        victim = model._pick_victim(P.PHONE_APP_2, CONTEXT_MESSAGE)
+        assert victim is device.os.phone_process
+        assert victim.critical
+
+    def test_msgs_defect_hits_critical_msg_server(self):
+        sim, device, model = make_rig()
+        victim = model._pick_victim(P.MSGS_CLIENT_3, CONTEXT_MESSAGE)
+        assert victim is device.os.msg_server_process
+
+    def test_voice_user_panic_hits_telephone(self):
+        sim, device, model = make_rig()
+        device.begin_call(60.0)
+        victim = model._pick_victim(P.USER_11, CONTEXT_VOICE)
+        assert victim.name == "Telephone"
+
+    def test_background_with_no_apps_uses_system_process(self):
+        sim, device, model = make_rig()
+        victim = model._pick_victim(P.KERN_EXEC_3, CONTEXT_BACKGROUND)
+        assert victim.name == "SysSrv"
+
+    def test_background_prefers_running_app(self):
+        sim, device, model = make_rig()
+        device.open_app("Camera")
+        victim = model._pick_victim(P.KERN_EXEC_3, CONTEXT_BACKGROUND)
+        assert victim.name == "Camera"
+
+
+class TestBurstsAndOutcomes:
+    def test_burst_produces_cascade(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=0.0,
+            silent_shutdown_rate=0.0,
+            burst_sizes={3: 1.0},
+            outcome_policy={},  # no HL escalation: keep phone on
+            visible_misbehavior_prob=0.0,
+        )
+        sim, device, model = make_rig(config)
+        device.open_app("Camera")
+        model._run_burst(CONTEXT_BACKGROUND)
+        sim.run_until(sim.now + HOUR)
+        assert len(recorded_panics(device)) == 3
+
+    def test_freeze_outcome(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=0.0,
+            silent_shutdown_rate=0.0,
+            burst_sizes={1: 1.0},
+            voice_weights={P.KERN_EXEC_3: 1.0},
+            outcome_policy={P.KERN_EXEC: (1.0, 1.0)},  # always freeze
+        )
+        sim, device, model = make_rig(config)
+        device.begin_call(600.0)
+        model._run_burst(CONTEXT_VOICE)
+        sim.run_until(sim.now + HOUR)
+        assert device.state == "frozen"
+        assert model.panic_freezes == 1
+
+    def test_self_shutdown_outcome(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=0.0,
+            silent_shutdown_rate=0.0,
+            burst_sizes={1: 1.0},
+            voice_weights={P.KERN_EXEC_3: 1.0},
+            outcome_policy={P.KERN_EXEC: (1.0, 0.0)},  # always self-shutdown
+        )
+        sim, device, model = make_rig(config)
+        device.begin_call(600.0)
+        model._run_burst(CONTEXT_VOICE)
+        sim.run_until(sim.now + HOUR)
+        assert device.state == STATE_OFF
+        assert device.shutdown_counts["self"] == 1
+
+    def test_application_panic_contained(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=0.0,
+            silent_shutdown_rate=0.0,
+            burst_sizes={1: 1.0},
+            background_weights={P.EIKON_LISTBOX_5: 1.0},
+            visible_misbehavior_prob=0.0,
+        )
+        sim, device, model = make_rig(config)
+        device.open_app("Camera")
+        model._run_burst(CONTEXT_BACKGROUND)
+        sim.run_until(sim.now + HOUR)
+        assert device.state == STATE_ON  # kernel contained it
+        assert device.freeze_count == 0
+
+    def test_critical_panic_reboots_mechanically(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=0.0,
+            silent_shutdown_rate=0.0,
+            burst_sizes={1: 1.0},
+            message_weights={P.MSGS_CLIENT_3: 1.0},
+        )
+        sim, device, model = make_rig(config)
+        device.begin_message(60.0)
+        model._run_burst(CONTEXT_MESSAGE)
+        sim.run_until(sim.now + HOUR)
+        assert device.state == STATE_OFF
+        assert device.shutdown_counts["self"] == 1
+
+    def test_idle_usage_burst_opens_an_app(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=0.0,
+            silent_shutdown_rate=0.0,
+            burst_sizes={1: 1.0},
+            idle_usage_prob=1.0,
+            background_weights={P.EIKON_LISTBOX_5: 1.0},
+            outcome_policy={},
+            visible_misbehavior_prob=0.0,
+        )
+        sim, device, model = make_rig(config)
+        assert device.running_apps() == ()
+        model._run_burst(CONTEXT_BACKGROUND)
+        assert len(device.running_apps()) == 1
+        sim.run_until(sim.now + HOUR)
+        assert len(recorded_panics(device)) == 1
+
+
+class TestSilentFailures:
+    def test_silent_freeze_fires(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=1.0 / 60.0,  # about one per minute
+            silent_shutdown_rate=0.0,
+        )
+        sim, device, model = make_rig(config)
+        sim.run_until(sim.now + HOUR)
+        assert model.silent_freezes >= 1
+        assert device.freeze_count >= 1
+
+    def test_silent_shutdown_fires(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=0.0,
+            silent_shutdown_rate=1.0 / 60.0,
+        )
+        sim, device, model = make_rig(config)
+        sim.run_until(sim.now + 600.0)
+        assert model.silent_shutdowns >= 1
+
+    def test_stale_events_do_not_fire_across_reboots(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=1.0 / (10 * HOUR),
+            silent_shutdown_rate=0.0,
+        )
+        sim, device, model = make_rig(config)
+        device.graceful_shutdown("user")
+        sim.run_until(sim.now + 100 * HOUR)
+        assert device.freeze_count == 0  # device off: nothing fires
+
+
+class TestActivityTriggeredBursts:
+    def test_call_can_trigger_burst(self):
+        config = FaultModelConfig(
+            background_burst_rate=0.0,
+            silent_freeze_rate=0.0,
+            silent_shutdown_rate=0.0,
+            per_call_burst_prob=1.0,
+            burst_sizes={1: 1.0},
+            voice_weights={P.USER_11: 1.0},
+            outcome_policy={},
+            visible_misbehavior_prob=0.0,
+        )
+        sim, device, model = make_rig(config)
+        device.begin_call(120.0)
+        sim.run_until(sim.now + HOUR)
+        panics = recorded_panics(device)
+        assert len(panics) == 1
+        assert panics[0].category == "USER"
+
+    def test_zero_probability_never_triggers(self):
+        sim, device, model = make_rig()
+        device.begin_call(120.0)
+        sim.run_until(sim.now + HOUR)
+        assert recorded_panics(device) == []

@@ -1,0 +1,105 @@
+"""Tests for user profiles and the application catalog."""
+
+from repro.core.rand import RandomStreams
+from repro.phone.apps import APP_CATALOG, app_ids, popularity_weights
+from repro.phone.profiles import (
+    OS_VERSION_WEIGHTS,
+    REGION_WEIGHTS,
+    UserProfile,
+    make_profile,
+)
+
+
+class TestAppCatalog:
+    def test_table4_apps_present(self):
+        for app in (
+            "Messages",
+            "Telephone",
+            "Camera",
+            "Clock",
+            "Log",
+            "Contacts",
+            "battery",
+            "BT_Browser",
+            "FExplorer",
+            "TomTom",
+        ):
+            assert app in APP_CATALOG
+
+    def test_catalog_keys_match_specs(self):
+        for app_id, spec in APP_CATALOG.items():
+            assert spec.app_id == app_id
+
+    def test_popularity_weights_positive(self):
+        for weight in popularity_weights().values():
+            assert weight > 0
+
+    def test_app_ids_order(self):
+        assert app_ids() == tuple(APP_CATALOG)
+
+    def test_lingering_apps_exist(self):
+        lingering = [a for a, s in APP_CATALOG.items() if s.lingering]
+        assert "Clock" in lingering
+        assert "Log" in lingering
+
+    def test_session_lengths_positive(self):
+        for spec in APP_CATALOG.values():
+            assert spec.median_session > 0
+            assert spec.session_sigma > 0
+
+
+class TestProfiles:
+    def make(self, phone_id="phone-00", seed=42):
+        return make_profile(phone_id, RandomStreams(seed).fork(phone_id))
+
+    def test_deterministic(self):
+        assert self.make() == self.make()
+
+    def test_different_phones_differ(self):
+        a = make_profile("phone-00", RandomStreams(42).fork("phone-00"))
+        b = make_profile("phone-01", RandomStreams(42).fork("phone-01"))
+        assert a != b
+
+    def test_fields_in_sane_ranges(self):
+        for index in range(50):
+            profile = self.make(f"phone-{index:02d}", seed=index)
+            assert 5.5 <= profile.wake_hour <= 12.0
+            assert profile.sleep_hour <= 25.0
+            assert profile.sleep_hour - profile.wake_hour >= 12.0
+            assert 0.0 <= profile.night_off_prob <= 0.9
+            assert 0.0 <= profile.forget_charge_prob <= 0.1
+            assert profile.calls_per_day > 0
+            assert profile.messages_per_day > 0
+            assert profile.app_sessions_per_day > 0
+            assert profile.impatience_median > 0
+            assert profile.region in REGION_WEIGHTS
+            assert profile.os_version in OS_VERSION_WEIGHTS
+
+    def test_waking_seconds(self):
+        profile = UserProfile(
+            phone_id="p",
+            region="Italy",
+            os_version="8.0",
+            calls_per_day=3,
+            messages_per_day=5,
+            app_sessions_per_day=5,
+            wake_hour=8.0,
+            sleep_hour=23.0,
+            night_off_prob=0.2,
+            forget_charge_prob=0.02,
+            impatience_median=120.0,
+            day_reboot_prob=0.01,
+            call_duration_median=90.0,
+            message_duration_median=30.0,
+        )
+        assert profile.waking_seconds == 15 * 3600.0
+
+    def test_population_mostly_version_8(self):
+        versions = [
+            self.make(f"phone-{i:02d}", seed=7).os_version for i in range(100)
+        ]
+        assert versions.count("8.0") > 30
+
+    def test_both_regions_present(self):
+        regions = {self.make(f"phone-{i:02d}", seed=11).region for i in range(60)}
+        assert regions == {"Italy", "USA"}

@@ -1,0 +1,130 @@
+"""Guard the public API surface: exports exist and stay importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.symbian",
+    "repro.symbian.servers",
+    "repro.phone",
+    "repro.logger",
+    "repro.forum",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+MODULES = [
+    "repro.cli",
+    "repro.core.clock",
+    "repro.core.engine",
+    "repro.core.events",
+    "repro.core.rand",
+    "repro.core.records",
+    "repro.core.errors",
+    "repro.symbian.panics",
+    "repro.symbian.kernel",
+    "repro.symbian.memory",
+    "repro.symbian.heap",
+    "repro.symbian.cleanup",
+    "repro.symbian.cobject",
+    "repro.symbian.handles",
+    "repro.symbian.descriptors",
+    "repro.symbian.active",
+    "repro.symbian.timers",
+    "repro.symbian.threads",
+    "repro.symbian.workloads",
+    "repro.symbian.ipc",
+    "repro.symbian.fileserver",
+    "repro.symbian.appfw",
+    "repro.symbian.errors",
+    "repro.symbian.servers.apparch",
+    "repro.symbian.servers.logdb",
+    "repro.symbian.servers.sysagent",
+    "repro.symbian.servers.rdebug",
+    "repro.symbian.servers.viewsrv",
+    "repro.symbian.servers.flogger",
+    "repro.phone.apps",
+    "repro.phone.battery",
+    "repro.phone.device",
+    "repro.phone.user",
+    "repro.phone.faults",
+    "repro.phone.profiles",
+    "repro.phone.fleet",
+    "repro.logger.heartbeat",
+    "repro.logger.panic_detector",
+    "repro.logger.runapp",
+    "repro.logger.log_engine",
+    "repro.logger.power",
+    "repro.logger.logfile",
+    "repro.logger.daemon",
+    "repro.logger.transfer",
+    "repro.logger.dexc",
+    "repro.forum.taxonomy",
+    "repro.forum.vocabulary",
+    "repro.forum.corpus",
+    "repro.forum.classifier",
+    "repro.forum.study",
+    "repro.analysis.ingest",
+    "repro.analysis.shutdowns",
+    "repro.analysis.availability",
+    "repro.analysis.panics",
+    "repro.analysis.bursts",
+    "repro.analysis.coalescence",
+    "repro.analysis.hl_relationship",
+    "repro.analysis.activity",
+    "repro.analysis.runapps",
+    "repro.analysis.output_failures",
+    "repro.analysis.reliability",
+    "repro.analysis.variability",
+    "repro.analysis.trends",
+    "repro.analysis.downtime",
+    "repro.analysis.tables",
+    "repro.analysis.report",
+    "repro.experiments.config",
+    "repro.experiments.campaign",
+    "repro.experiments.paper",
+    "repro.experiments.compare",
+]
+
+
+@pytest.mark.parametrize("name", MODULES, ids=lambda n: n)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES, ids=lambda n: n)
+def test_package_all_entries_resolve(name):
+    package = importlib.import_module(name)
+    exported = getattr(package, "__all__", [])
+    assert exported, f"{name} should declare __all__"
+    for symbol in exported:
+        assert hasattr(package, symbol), f"{name}.{symbol} missing"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_every_public_module_has_docstring():
+    for name in MODULES:
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+
+def test_public_classes_have_docstrings():
+    import inspect
+
+    for name in MODULES:
+        module = importlib.import_module(name)
+        for attr_name, obj in vars(module).items():
+            if attr_name.startswith("_"):
+                continue
+            if inspect.isclass(obj) and obj.__module__ == name:
+                assert obj.__doc__, f"{name}.{attr_name} lacks a docstring"

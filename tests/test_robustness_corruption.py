@@ -1,0 +1,121 @@
+"""Failure injection against the analysis pipeline itself.
+
+A real collection campaign ships imperfect data: truncated lines,
+flipped bytes, missing chunks, duplicated transfers.  The offline
+pipeline must degrade gracefully — never crash, and keep its results
+close to the clean-data results when corruption is mild.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ingest import Dataset
+from repro.analysis.report import build_report
+from repro.core.rand import Stream
+
+
+def corrupt_lines(lines, stream, drop=0.0, truncate=0.0, garble=0.0):
+    out = []
+    for line in lines:
+        roll = stream.random()
+        if roll < drop:
+            continue
+        if roll < drop + truncate:
+            out.append(line[: max(3, len(line) // 2)])
+            continue
+        if roll < drop + truncate + garble:
+            index = stream.randint(0, max(len(line) - 1, 0))
+            out.append(line[:index] + "#" + line[index + 1 :])
+            continue
+        out.append(line)
+    return out
+
+
+class TestMildCorruption:
+    @pytest.fixture(scope="class")
+    def clean(self, quick_campaign):
+        return quick_campaign.fleet.collector.dataset()
+
+    def run_with(self, clean, **rates):
+        stream = Stream(42)
+        corrupted = {
+            phone_id: corrupt_lines(lines, stream, **rates)
+            for phone_id, lines in clean.items()
+        }
+        dataset = Dataset.from_lines(corrupted)
+        return build_report(dataset)
+
+    def test_truncation_never_crashes(self, clean):
+        report = self.run_with(clean, truncate=0.05)
+        assert report.panic_table.total >= 0
+
+    def test_garbling_never_crashes(self, clean):
+        report = self.run_with(clean, garble=0.05)
+        assert report.availability.phone_count > 0
+
+    def test_drops_never_crash(self, clean):
+        report = self.run_with(clean, drop=0.05)
+        assert report.availability.phone_count > 0
+
+    def test_mild_corruption_barely_moves_results(self, clean, quick_campaign):
+        baseline = quick_campaign.report
+        report = self.run_with(clean, drop=0.01, truncate=0.01, garble=0.01)
+        # Event counts shrink at most proportionally to corruption.
+        assert report.panic_table.total >= 0.9 * baseline.panic_table.total
+        assert (
+            report.availability.freeze_count
+            >= 0.85 * baseline.availability.freeze_count
+        )
+
+    def test_heavy_corruption_still_terminates(self, clean):
+        report = self.run_with(clean, drop=0.3, truncate=0.2, garble=0.2)
+        assert report.panic_table.total >= 0
+
+    def test_duplicated_transfer_is_visible_not_fatal(self, clean):
+        """A transfer bug that ships every line twice doubles counts but
+        must not break any invariant the pipeline checks."""
+        doubled = {pid: lines + lines for pid, lines in clean.items()}
+        dataset = Dataset.from_lines(doubled)
+        report = build_report(dataset)
+        assert report.panic_table.total >= 0
+        if report.panic_table.total:
+            assert sum(r.percent for r in report.panic_table.rows) == pytest.approx(
+                100.0
+            )
+
+
+@given(
+    drop=st.floats(min_value=0.0, max_value=0.4),
+    truncate=st.floats(min_value=0.0, max_value=0.3),
+    garble=st.floats(min_value=0.0, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_pipeline_never_crashes_under_any_corruption(
+    quick_campaign, drop, truncate, garble, seed
+):
+    """The hard property: no corruption mix crashes the pipeline."""
+    clean = quick_campaign.fleet.collector.dataset()
+    stream = Stream(seed)
+    corrupted = {
+        phone_id: corrupt_lines(
+            lines, stream, drop=drop, truncate=truncate, garble=garble
+        )
+        for phone_id, lines in clean.items()
+    }
+    # Corruption can empty the dataset entirely; that is the one
+    # legitimate error.
+    try:
+        dataset = Dataset.from_lines(corrupted)
+    except Exception as exc:  # noqa: BLE001 - asserting the exact type below
+        from repro.core.errors import AnalysisError
+
+        assert isinstance(exc, AnalysisError)
+        return
+    report = build_report(dataset)
+    assert report.panic_table.total >= 0

@@ -1,0 +1,264 @@
+"""Tests for active objects, the active scheduler, and timers."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.symbian.active import (
+    CActive,
+    CActiveScheduler,
+    K_REQUEST_PENDING,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    TRequestStatus,
+)
+from repro.symbian.errors import KERR_GENERAL, Leave, PanicRequest
+from repro.symbian.panics import (
+    E32USER_CBASE_46,
+    E32USER_CBASE_47,
+    KERN_EXEC_15,
+)
+from repro.symbian.timers import RTimer
+
+
+class RecordingAO(CActive):
+    """AO that counts its RunL invocations and optionally re-issues."""
+
+    def __init__(self, scheduler, priority=0, name="", reissue=False, leave_code=None):
+        super().__init__(scheduler, priority=priority, name=name)
+        self.runs = 0
+        self.reissue = reissue
+        self.leave_code = leave_code
+        self.handled_errors = []
+
+    def issue(self):
+        self.i_status.mark_pending()
+        self.set_active()
+
+    def run_l(self):
+        self.runs += 1
+        if self.leave_code is not None:
+            raise Leave(self.leave_code)
+        if self.reissue:
+            self.issue()
+
+
+class HandlingAO(RecordingAO):
+    def run_error(self, code):
+        self.handled_errors.append(code)
+        return True
+
+
+class TestTRequestStatus:
+    def test_initial_state_not_pending(self):
+        status = TRequestStatus()
+        assert not status.pending
+
+    def test_mark_pending(self):
+        status = TRequestStatus()
+        status.mark_pending()
+        assert status.pending
+        assert status.value == K_REQUEST_PENDING
+
+    def test_complete_sets_value(self):
+        status = TRequestStatus()
+        status.mark_pending()
+        status.complete(-5)
+        assert not status.pending
+        assert status.value == -5
+        assert status.completed
+
+    def test_owned_completion_signals_scheduler(self):
+        scheduler = CActiveScheduler()
+        ao = RecordingAO(scheduler)
+        ao.issue()
+        ao.i_status.complete(0)
+        assert scheduler.pending_signals == 1
+
+
+class TestDispatch:
+    def test_completed_ao_runs(self):
+        scheduler = CActiveScheduler()
+        ao = RecordingAO(scheduler)
+        ao.issue()
+        ao.i_status.complete(0)
+        assert scheduler.run_one()
+        assert ao.runs == 1
+        assert not ao.is_active
+
+    def test_run_one_without_signal_is_false(self):
+        assert not CActiveScheduler().run_one()
+
+    def test_priority_order(self):
+        scheduler = CActiveScheduler()
+        low = RecordingAO(scheduler, priority=PRIORITY_LOW, name="low")
+        high = RecordingAO(scheduler, priority=PRIORITY_HIGH, name="high")
+        for ao in (low, high):
+            ao.issue()
+            ao.i_status.complete(0)
+        scheduler.run_one()
+        assert high.runs == 1
+        assert low.runs == 0
+        scheduler.run_one()
+        assert low.runs == 1
+
+    def test_run_until_idle_drains(self):
+        scheduler = CActiveScheduler()
+        aos = [RecordingAO(scheduler) for _ in range(5)]
+        for ao in aos:
+            ao.issue()
+            ao.i_status.complete(0)
+        count = scheduler.run_until_idle()
+        assert count == 5
+        assert all(ao.runs == 1 for ao in aos)
+
+    def test_run_until_idle_bounded(self):
+        scheduler = CActiveScheduler()
+        ao = RecordingAO(scheduler, reissue=True)
+        ao.issue()
+        ao.i_status.complete(0)
+
+        # Self-reposting with immediate completion loops; the bound must
+        # stop it.
+        def complete_and_run():
+            for _ in range(50):
+                if ao.is_active and ao.i_status.pending:
+                    ao.i_status.complete(0)
+                if not scheduler.run_one():
+                    break
+
+        complete_and_run()
+        assert ao.runs <= 51
+
+    def test_cancel_clears_active(self):
+        scheduler = CActiveScheduler()
+        ao = RecordingAO(scheduler)
+        ao.issue()
+        ao.cancel()
+        assert not ao.is_active
+
+    def test_remove_detaches(self):
+        scheduler = CActiveScheduler()
+        ao = RecordingAO(scheduler)
+        scheduler.remove(ao)
+        ao.issue()
+        ao.i_status.complete(0)
+        with pytest.raises(PanicRequest):
+            scheduler.run_one()  # signal with no registered AO: stray
+
+
+class TestErrors:
+    def test_stray_signal_panics_46(self):
+        scheduler = CActiveScheduler()
+        status = TRequestStatus()
+        status.attach_scheduler(scheduler)
+        status.mark_pending()
+        status.complete(0)
+        with pytest.raises(PanicRequest) as exc:
+            scheduler.run_one()
+        assert exc.value.panic_id == E32USER_CBASE_46
+
+    def test_unhandled_leave_panics_47(self):
+        scheduler = CActiveScheduler()
+        ao = RecordingAO(scheduler, leave_code=KERR_GENERAL)
+        ao.issue()
+        ao.i_status.complete(0)
+        with pytest.raises(PanicRequest) as exc:
+            scheduler.run_one()
+        assert exc.value.panic_id == E32USER_CBASE_47
+
+    def test_run_error_can_handle_leave(self):
+        scheduler = CActiveScheduler()
+        ao = HandlingAO(scheduler, leave_code=KERR_GENERAL)
+        ao.issue()
+        ao.i_status.complete(0)
+        scheduler.run_one()
+        assert ao.handled_errors == [KERR_GENERAL]
+
+    def test_custom_scheduler_error_hook(self):
+        class TolerantScheduler(CActiveScheduler):
+            def __init__(self):
+                super().__init__()
+                self.errors = []
+
+            def error(self, code, ao=None):
+                self.errors.append(code)
+
+        scheduler = TolerantScheduler()
+        ao = RecordingAO(scheduler, leave_code=-9)
+        ao.issue()
+        ao.i_status.complete(0)
+        scheduler.run_one()
+        assert scheduler.errors == [-9]
+
+    def test_base_run_l_is_abstract(self):
+        scheduler = CActiveScheduler()
+        ao = CActive(scheduler)
+        with pytest.raises(NotImplementedError):
+            ao.run_l()
+
+
+class TestRTimer:
+    def test_after_completes_status(self):
+        sim = Simulator()
+        timer = RTimer(sim)
+        status = TRequestStatus()
+        timer.after(status, 10.0)
+        assert status.pending
+        sim.run()
+        assert status.completed
+        assert status.value == 0
+        assert sim.now == 10.0
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        timer = RTimer(sim)
+        status = TRequestStatus()
+        timer.at(status, 25.0)
+        sim.run()
+        assert sim.now == 25.0
+        assert status.completed
+
+    def test_double_after_panics_kern_exec_15(self):
+        sim = Simulator()
+        timer = RTimer(sim)
+        timer.after(TRequestStatus(), 10.0)
+        with pytest.raises(PanicRequest) as exc:
+            timer.after(TRequestStatus(), 5.0)
+        assert exc.value.panic_id == KERN_EXEC_15
+
+    def test_after_then_at_also_panics(self):
+        sim = Simulator()
+        timer = RTimer(sim)
+        timer.after(TRequestStatus(), 10.0)
+        with pytest.raises(PanicRequest):
+            timer.at(TRequestStatus(), 20.0)
+
+    def test_cancel_completes_with_kerr_cancel(self):
+        sim = Simulator()
+        timer = RTimer(sim)
+        status = TRequestStatus()
+        timer.after(status, 10.0)
+        timer.cancel()
+        assert status.value == -3
+        assert not timer.outstanding
+        sim.run()  # the cancelled event must not fire anything
+
+    def test_cancel_idle_is_noop(self):
+        RTimer(Simulator()).cancel()
+
+    def test_reuse_after_completion(self):
+        sim = Simulator()
+        timer = RTimer(sim)
+        timer.after(TRequestStatus(), 5.0)
+        sim.run()
+        timer.after(TRequestStatus(), 5.0)  # no panic: previous completed
+        sim.run()
+
+    def test_outstanding_flag(self):
+        sim = Simulator()
+        timer = RTimer(sim)
+        assert not timer.outstanding
+        timer.after(TRequestStatus(), 5.0)
+        assert timer.outstanding
+        sim.run()
+        assert not timer.outstanding

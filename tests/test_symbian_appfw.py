@@ -1,0 +1,224 @@
+"""Tests for the mini application framework panics."""
+
+import pytest
+
+from repro.symbian.appfw import (
+    AudioClient,
+    Edwin,
+    ListBox,
+    ListBoxView,
+    MsgsClient,
+    PhoneApp,
+)
+from repro.symbian.descriptors import TDes16
+from repro.symbian.errors import KERR_NONE, PanicRequest
+from repro.symbian.panics import (
+    EIKCOCTL_70,
+    EIKON_LISTBOX_3,
+    EIKON_LISTBOX_5,
+    MMF_AUDIO_CLIENT_4,
+    MSGS_CLIENT_3,
+    PHONE_APP_2,
+)
+
+
+class TestListBox:
+    def test_normal_draw(self):
+        box = ListBox()
+        box.set_view(ListBoxView(height=2))
+        box.set_items(["a", "b", "c"])
+        assert box.draw() == ["a", "b"]
+
+    def test_draw_scrolls_to_current(self):
+        box = ListBox()
+        box.set_view(ListBoxView(height=2))
+        box.set_items(["a", "b", "c", "d"])
+        box.set_current_item_index(2)
+        assert box.draw() == ["c", "d"]
+
+    def test_draw_without_view_panics_3(self):
+        box = ListBox()
+        box.set_items(["a"])
+        with pytest.raises(PanicRequest) as exc:
+            box.draw()
+        assert exc.value.panic_id == EIKON_LISTBOX_3
+
+    def test_invalid_index_panics_5(self):
+        box = ListBox()
+        box.set_view(ListBoxView())
+        box.set_items(["a", "b"])
+        with pytest.raises(PanicRequest) as exc:
+            box.set_current_item_index(2)
+        assert exc.value.panic_id == EIKON_LISTBOX_5
+
+    def test_negative_index_panics_5(self):
+        box = ListBox()
+        box.set_items(["a"])
+        with pytest.raises(PanicRequest):
+            box.set_current_item_index(-1)
+
+    def test_set_items_resets_index(self):
+        box = ListBox()
+        box.set_items(["a", "b"])
+        box.set_current_item_index(1)
+        box.set_items(["x"])
+        assert box.current_item_index() == 0
+
+    def test_empty_items_index_minus_one(self):
+        box = ListBox()
+        box.set_items([])
+        assert box.current_item_index() == -1
+
+    def test_view_height_validated(self):
+        with pytest.raises(ValueError):
+            ListBoxView(height=0)
+
+
+class TestEdwin:
+    def test_inline_edit_lifecycle(self):
+        edwin = Edwin()
+        edwin.text.copy("hello ")
+        edwin.begin_inline_edit()
+        edwin.update_inline_text("wor")
+        edwin.update_inline_text("world")
+        edwin.commit_inline_edit()
+        assert edwin.text.as_str() == "hello world"
+        assert not edwin.inline_editing
+
+    def test_cancel_removes_inline_text(self):
+        edwin = Edwin()
+        edwin.text.copy("hello")
+        edwin.begin_inline_edit()
+        edwin.update_inline_text(" there")
+        edwin.cancel_inline_edit()
+        assert edwin.text.as_str() == "hello"
+
+    def test_double_begin_panics_70(self):
+        edwin = Edwin()
+        edwin.begin_inline_edit()
+        with pytest.raises(PanicRequest) as exc:
+            edwin.begin_inline_edit()
+        assert exc.value.panic_id == EIKCOCTL_70
+
+    def test_update_without_begin_panics_70(self):
+        with pytest.raises(PanicRequest) as exc:
+            Edwin().update_inline_text("x")
+        assert exc.value.panic_id == EIKCOCTL_70
+
+    def test_commit_without_begin_panics_70(self):
+        with pytest.raises(PanicRequest):
+            Edwin().commit_inline_edit()
+
+    def test_cancel_without_begin_panics_70(self):
+        with pytest.raises(PanicRequest):
+            Edwin().cancel_inline_edit()
+
+    def test_corrupt_state_detected_as_70(self):
+        edwin = Edwin()
+        edwin.text.copy("short")
+        edwin.begin_inline_edit()
+        edwin.corrupt_inline_state()
+        with pytest.raises(PanicRequest) as exc:
+            edwin.update_inline_text("x")
+        assert exc.value.panic_id == EIKCOCTL_70
+
+
+class TestAudioClient:
+    def test_volume_in_range(self):
+        audio = AudioClient()
+        audio.set_volume(9)
+        assert audio.volume == 9
+
+    def test_volume_ten_panics_4(self):
+        with pytest.raises(PanicRequest) as exc:
+            AudioClient().set_volume(10)
+        assert exc.value.panic_id == MMF_AUDIO_CLIENT_4
+
+    def test_volume_above_ten_panics(self):
+        with pytest.raises(PanicRequest):
+            AudioClient().set_volume(42)
+
+    def test_negative_clamped_to_zero(self):
+        audio = AudioClient()
+        audio.set_volume(-3)
+        assert audio.volume == 0
+
+    def test_play_stop(self):
+        audio = AudioClient()
+        audio.play()
+        assert audio.playing
+        audio.stop()
+        assert not audio.playing
+
+
+class TestMsgsClient:
+    def test_store_and_fetch(self):
+        client = MsgsClient()
+        index = client.store_message("hello")
+        target = TDes16(32)
+        assert client.fetch_message(index, target) == KERR_NONE
+        assert target.as_str() == "hello"
+
+    def test_fetch_unknown_returns_not_found(self):
+        assert MsgsClient().fetch_message(0, TDes16(8)) == -1
+
+    def test_writeback_overflow_panics_msgs_3(self):
+        client = MsgsClient()
+        index = client.store_message("a rather long message body")
+        with pytest.raises(PanicRequest) as exc:
+            client.fetch_message(index, TDes16(4))
+        assert exc.value.panic_id == MSGS_CLIENT_3
+
+    def test_message_count(self):
+        client = MsgsClient()
+        client.store_message("a")
+        client.store_message("b")
+        assert client.message_count == 2
+
+
+class TestPhoneApp:
+    def test_outgoing_call_lifecycle(self):
+        phone = PhoneApp()
+        phone.dial()
+        phone.answer()
+        phone.hang_up()
+        assert phone.state == "idle"
+        assert phone.calls_completed == 1
+
+    def test_incoming_call_lifecycle(self):
+        phone = PhoneApp()
+        phone.incoming()
+        phone.answer()
+        phone.hang_up()
+        assert phone.calls_completed == 1
+
+    def test_abandoned_dial(self):
+        phone = PhoneApp()
+        phone.dial()
+        phone.transition("idle")
+        assert phone.calls_completed == 0
+
+    def test_illegal_transition_panics_phone_app_2(self):
+        phone = PhoneApp()
+        with pytest.raises(PanicRequest) as exc:
+            phone.transition("connected")  # cannot connect from idle
+        assert exc.value.panic_id == PHONE_APP_2
+
+    def test_dial_while_connected_panics(self):
+        phone = PhoneApp()
+        phone.dial()
+        phone.answer()
+        with pytest.raises(PanicRequest):
+            phone.dial()
+
+    def test_unknown_state_target_panics(self):
+        with pytest.raises(PanicRequest):
+            PhoneApp().transition("teleporting")
+
+    def test_reset_reidles(self):
+        phone = PhoneApp()
+        phone.dial()
+        phone.answer()
+        phone.reset()
+        assert phone.state == "idle"
+        phone.dial()  # legal again

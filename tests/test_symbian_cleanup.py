@@ -1,0 +1,191 @@
+"""Tests for the cleanup stack, TRAP/Leave, two-phase construction."""
+
+import pytest
+
+from repro.symbian.cleanup import CTrapCleanup, two_phase_new
+from repro.symbian.errors import KERR_GENERAL, KERR_NO_MEMORY, Leave, PanicRequest
+from repro.symbian.panics import E32USER_CBASE_69
+
+
+class Tracked:
+    """Object with a destructor flag, for unwind assertions."""
+
+    def __init__(self):
+        self.destroyed = False
+
+    def destruct(self):
+        self.destroyed = True
+
+
+class TestTrap:
+    def test_no_leave_yields_code_zero(self):
+        cleanup = CTrapCleanup()
+        with cleanup.trap() as result:
+            pass
+        assert result.code == 0
+        assert not result.left
+
+    def test_leave_caught_and_code_exposed(self):
+        cleanup = CTrapCleanup()
+        with cleanup.trap() as result:
+            cleanup.leave(KERR_NO_MEMORY)
+        assert result.left
+        assert result.code == KERR_NO_MEMORY
+
+    def test_leave_without_trap_panics_69(self):
+        cleanup = CTrapCleanup()
+        with pytest.raises(PanicRequest) as exc:
+            cleanup.leave(KERR_GENERAL)
+        assert exc.value.panic_id == E32USER_CBASE_69
+
+    def test_nested_traps_catch_at_innermost(self):
+        cleanup = CTrapCleanup()
+        with cleanup.trap() as outer:
+            with cleanup.trap() as inner:
+                cleanup.leave(-3)
+            assert inner.code == -3
+        assert outer.code == 0
+
+    def test_trap_depth_tracking(self):
+        cleanup = CTrapCleanup()
+        assert cleanup.trap_depth == 0
+        with cleanup.trap():
+            assert cleanup.trap_depth == 1
+        assert cleanup.trap_depth == 0
+
+    def test_non_leave_exception_propagates(self):
+        cleanup = CTrapCleanup()
+        with pytest.raises(RuntimeError):
+            with cleanup.trap():
+                raise RuntimeError("not a leave")
+
+
+class TestCleanupStack:
+    def test_push_without_trap_panics_69(self):
+        cleanup = CTrapCleanup()
+        with pytest.raises(PanicRequest) as exc:
+            cleanup.push(Tracked())
+        assert exc.value.panic_id == E32USER_CBASE_69
+
+    def test_leave_destroys_pushed_items(self):
+        cleanup = CTrapCleanup()
+        item = Tracked()
+        with cleanup.trap() as result:
+            cleanup.push(item)
+            cleanup.leave(-1)
+        assert result.left
+        assert item.destroyed
+        assert cleanup.depth == 0
+
+    def test_leave_destroys_in_lifo_order(self):
+        cleanup = CTrapCleanup()
+        order = []
+
+        class Ordered:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def destruct(self):
+                order.append(self.tag)
+
+        with cleanup.trap():
+            cleanup.push(Ordered("a"))
+            cleanup.push(Ordered("b"))
+            cleanup.leave(-1)
+        assert order == ["b", "a"]
+
+    def test_leave_only_unwinds_to_trap_mark(self):
+        cleanup = CTrapCleanup()
+        outer_item = Tracked()
+        inner_item = Tracked()
+        with cleanup.trap():
+            cleanup.push(outer_item)
+            with cleanup.trap():
+                cleanup.push(inner_item)
+                cleanup.leave(-1)
+            assert inner_item.destroyed
+            assert not outer_item.destroyed
+            cleanup.pop()
+
+    def test_pop_does_not_destroy(self):
+        cleanup = CTrapCleanup()
+        item = Tracked()
+        with cleanup.trap():
+            cleanup.push(item)
+            cleanup.pop()
+        assert not item.destroyed
+
+    def test_pop_and_destroy(self):
+        cleanup = CTrapCleanup()
+        item = Tracked()
+        with cleanup.trap():
+            cleanup.push(item)
+            cleanup.pop_and_destroy()
+        assert item.destroyed
+
+    def test_pop_count(self):
+        cleanup = CTrapCleanup()
+        with cleanup.trap():
+            for _ in range(3):
+                cleanup.push(Tracked())
+            cleanup.pop(2)
+            assert cleanup.depth == 1
+            cleanup.pop()
+
+    def test_pop_underflow_panics_69(self):
+        cleanup = CTrapCleanup()
+        with cleanup.trap():
+            with pytest.raises(PanicRequest) as exc:
+                cleanup.pop(1)
+            assert exc.value.panic_id == E32USER_CBASE_69
+
+    def test_pop_negative_rejected(self):
+        cleanup = CTrapCleanup()
+        with cleanup.trap():
+            with pytest.raises(ValueError):
+                cleanup.pop(-1)
+
+    def test_items_without_destructor_tolerated(self):
+        cleanup = CTrapCleanup()
+        with cleanup.trap():
+            cleanup.push(object())
+            cleanup.pop_and_destroy()
+
+
+class TestTwoPhaseConstruction:
+    class Widget:
+        def __init__(self, fail=False):
+            self.fail = fail
+            self.constructed = False
+            self.destroyed = False
+
+        def construct_l(self):
+            if self.fail:
+                raise Leave(KERR_NO_MEMORY)
+            self.constructed = True
+
+        def destruct(self):
+            self.destroyed = True
+
+    def test_successful_construction(self):
+        cleanup = CTrapCleanup()
+        with cleanup.trap():
+            widget = two_phase_new(cleanup, self.Widget)
+        assert widget.constructed
+        assert not widget.destroyed
+        assert cleanup.depth == 0
+
+    def test_failed_second_phase_destroys_object(self):
+        cleanup = CTrapCleanup()
+        built = []
+
+        def first_phase():
+            widget = self.Widget(fail=True)
+            built.append(widget)
+            return widget
+
+        with cleanup.trap() as result:
+            two_phase_new(cleanup, first_phase)
+        assert result.code == KERR_NO_MEMORY
+        assert built[0].destroyed
+        assert cleanup.depth == 0

@@ -1,0 +1,296 @@
+"""Tests for 16-bit descriptors, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbian.descriptors import TBuf16, TDes16, TDesC16
+from repro.symbian.errors import PanicRequest
+from repro.symbian.panics import USER_10, USER_11
+
+
+def panic_of(exc_info) -> object:
+    return exc_info.value.panic_id
+
+
+class TestConstDescriptor:
+    def test_length_and_str(self):
+        d = TDesC16("hello")
+        assert d.length() == 5
+        assert d.as_str() == "hello"
+        assert len(d) == 5
+
+    def test_at(self):
+        assert TDesC16("abc").at(1) == "b"
+
+    def test_at_out_of_bounds_panics_user10(self):
+        with pytest.raises(PanicRequest) as exc:
+            TDesC16("abc").at(3)
+        assert panic_of(exc) == USER_10
+
+    def test_left(self):
+        assert TDesC16("hello").left(2).as_str() == "he"
+
+    def test_left_full_length_ok(self):
+        assert TDesC16("hello").left(5).as_str() == "hello"
+
+    def test_left_beyond_length_panics(self):
+        with pytest.raises(PanicRequest) as exc:
+            TDesC16("hello").left(6)
+        assert panic_of(exc) == USER_10
+
+    def test_right(self):
+        assert TDesC16("hello").right(2).as_str() == "lo"
+
+    def test_right_zero(self):
+        assert TDesC16("hello").right(0).as_str() == ""
+
+    def test_mid(self):
+        assert TDesC16("hello").mid(1, 3).as_str() == "ell"
+
+    def test_mid_to_end(self):
+        assert TDesC16("hello").mid(2).as_str() == "llo"
+
+    def test_mid_bad_position_panics(self):
+        with pytest.raises(PanicRequest) as exc:
+            TDesC16("hello").mid(9)
+        assert panic_of(exc) == USER_10
+
+    def test_mid_overlong_count_panics(self):
+        with pytest.raises(PanicRequest) as exc:
+            TDesC16("hello").mid(3, 4)
+        assert panic_of(exc) == USER_10
+
+    def test_compare(self):
+        assert TDesC16("a").compare("b") == -1
+        assert TDesC16("b").compare("a") == 1
+        assert TDesC16("a").compare(TDesC16("a")) == 0
+
+    def test_find(self):
+        assert TDesC16("hello").find("ll") == 2
+        assert TDesC16("hello").find("zz") == -1
+
+    def test_equality_with_str(self):
+        assert TDesC16("x") == "x"
+        assert TDesC16("x") != "y"
+
+    def test_hashable(self):
+        assert hash(TDesC16("x")) == hash("x")
+
+
+class TestModifiableDescriptor:
+    def test_max_length(self):
+        assert TDes16(10).max_length() == 10
+
+    def test_initial_overflow_panics(self):
+        with pytest.raises(PanicRequest) as exc:
+            TDes16(2, "abc")
+        assert panic_of(exc) == USER_11
+
+    def test_negative_max_rejected(self):
+        with pytest.raises(ValueError):
+            TDes16(-1)
+
+    def test_copy(self):
+        d = TDes16(10, "old")
+        d.copy("new")
+        assert d.as_str() == "new"
+
+    def test_copy_overflow_panics_user11(self):
+        d = TDes16(3)
+        with pytest.raises(PanicRequest) as exc:
+            d.copy("toolong")
+        assert panic_of(exc) == USER_11
+
+    def test_append(self):
+        d = TDes16(10, "ab")
+        d.append("cd")
+        assert d.as_str() == "abcd"
+
+    def test_append_overflow_panics(self):
+        d = TDes16(3, "ab")
+        with pytest.raises(PanicRequest) as exc:
+            d.append("cd")
+        assert panic_of(exc) == USER_11
+
+    def test_append_descriptor(self):
+        d = TDes16(10, "ab")
+        d.append(TDesC16("cd"))
+        assert d.as_str() == "abcd"
+
+    def test_insert(self):
+        d = TDes16(10, "ad")
+        d.insert(1, "bc")
+        assert d.as_str() == "abcd"
+
+    def test_insert_at_end(self):
+        d = TDes16(10, "ab")
+        d.insert(2, "c")
+        assert d.as_str() == "abc"
+
+    def test_insert_bad_position_panics_user10(self):
+        d = TDes16(10, "ab")
+        with pytest.raises(PanicRequest) as exc:
+            d.insert(3, "x")
+        assert panic_of(exc) == USER_10
+
+    def test_insert_overflow_panics_user11(self):
+        d = TDes16(3, "ab")
+        with pytest.raises(PanicRequest) as exc:
+            d.insert(1, "xy")
+        assert panic_of(exc) == USER_11
+
+    def test_delete(self):
+        d = TDes16(10, "abcd")
+        d.delete(1, 2)
+        assert d.as_str() == "ad"
+
+    def test_delete_clamps_count(self):
+        d = TDes16(10, "abcd")
+        d.delete(2, 99)
+        assert d.as_str() == "ab"
+
+    def test_delete_bad_position_panics(self):
+        d = TDes16(10, "ab")
+        with pytest.raises(PanicRequest) as exc:
+            d.delete(5, 1)
+        assert panic_of(exc) == USER_10
+
+    def test_replace(self):
+        d = TDes16(10, "abcd")
+        d.replace(1, 2, "XY")
+        assert d.as_str() == "aXYd"
+
+    def test_replace_shrinks(self):
+        d = TDes16(10, "abcd")
+        d.replace(0, 3, "Z")
+        assert d.as_str() == "Zd"
+
+    def test_replace_range_out_of_bounds_panics_user10(self):
+        d = TDes16(10, "ab")
+        with pytest.raises(PanicRequest) as exc:
+            d.replace(1, 5, "X")
+        assert panic_of(exc) == USER_10
+
+    def test_replace_overflow_panics_user11(self):
+        d = TDes16(4, "abcd")
+        with pytest.raises(PanicRequest) as exc:
+            d.replace(1, 1, "LONG")
+        assert panic_of(exc) == USER_11
+
+    def test_fill(self):
+        d = TDes16(10, "abc")
+        d.fill("x")
+        assert d.as_str() == "xxx"
+
+    def test_fill_with_count(self):
+        d = TDes16(10)
+        d.fill("x", 4)
+        assert d.as_str() == "xxxx"
+
+    def test_fill_overflow_panics(self):
+        d = TDes16(3)
+        with pytest.raises(PanicRequest) as exc:
+            d.fill("x", 4)
+        assert panic_of(exc) == USER_11
+
+    def test_fill_multichar_rejected(self):
+        with pytest.raises(ValueError):
+            TDes16(10).fill("xy")
+
+    def test_fill_z(self):
+        d = TDes16(10)
+        d.fill_z(3)
+        assert d.as_str() == "\x00\x00\x00"
+
+    def test_set_length_shrink(self):
+        d = TDes16(10, "abcd")
+        d.set_length(2)
+        assert d.as_str() == "ab"
+
+    def test_set_length_grow_pads(self):
+        d = TDes16(10, "ab")
+        d.set_length(4)
+        assert d.length() == 4
+        assert d.as_str().startswith("ab")
+
+    def test_set_length_beyond_max_panics_user11(self):
+        d = TDes16(4)
+        with pytest.raises(PanicRequest) as exc:
+            d.set_length(5)
+        assert panic_of(exc) == USER_11
+
+    def test_set_length_negative_panics_user10(self):
+        d = TDes16(4)
+        with pytest.raises(PanicRequest) as exc:
+            d.set_length(-1)
+        assert panic_of(exc) == USER_10
+
+    def test_zero(self):
+        d = TDes16(10, "abc")
+        d.zero()
+        assert d.length() == 0
+
+    def test_zero_terminate(self):
+        d = TDes16(4, "abc")
+        d.zero_terminate()
+        assert d.as_str() == "abc\x00"
+
+    def test_zero_terminate_at_max_panics(self):
+        d = TDes16(3, "abc")
+        with pytest.raises(PanicRequest) as exc:
+            d.zero_terminate()
+        assert panic_of(exc) == USER_11
+
+    def test_tbuf_alias(self):
+        buf = TBuf16(8, "hi")
+        assert buf.as_str() == "hi"
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis invariants: after ANY sequence of mutating operations that
+# does not panic, length() <= max_length(); panics never corrupt state.
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["append", "insert", "delete", "replace", "set_length"]),
+        st.integers(min_value=-2, max_value=20),
+        st.text(alphabet="abxy", max_size=8),
+    ),
+    max_size=20,
+)
+
+
+@given(max_length=st.integers(min_value=0, max_value=16), ops=_ops)
+@settings(max_examples=200, deadline=None)
+def test_descriptor_never_exceeds_max_length(max_length, ops):
+    d = TDes16(max_length)
+    for name, pos, text in ops:
+        before = d.as_str()
+        try:
+            if name == "append":
+                d.append(text)
+            elif name == "insert":
+                d.insert(pos, text)
+            elif name == "delete":
+                d.delete(pos, len(text))
+            elif name == "replace":
+                d.replace(pos, min(len(text), 2), text)
+            elif name == "set_length":
+                d.set_length(pos)
+        except PanicRequest as panic:
+            # A panic must be one of the two descriptor panics and must
+            # leave the content untouched (Symbian panics the thread; it
+            # does not half-apply the operation).
+            assert panic.panic_id in (USER_10, USER_11)
+            assert d.as_str() == before
+        assert d.length() <= max_length
+
+
+@given(text=st.text(alphabet="abcde", max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_left_right_partition(text):
+    d = TDesC16(text)
+    for k in range(len(text) + 1):
+        assert d.left(k).as_str() + d.right(len(text) - k).as_str() == text

@@ -1,0 +1,174 @@
+"""Tests for the file server: sessions, sharing, power-cut durability."""
+
+import pytest
+
+from repro.symbian.errors import KERR_IN_USE, KERR_NONE, KERR_NOT_FOUND
+from repro.symbian.fileserver import FileServer
+
+
+@pytest.fixture()
+def server():
+    return FileServer()
+
+
+class TestNamespace:
+    def test_create(self, server):
+        assert server.connect().create("c:\\logs\\beats.dat") == KERR_NONE
+        assert server.exists("c:\\logs\\beats.dat")
+
+    def test_create_duplicate_in_use(self, server):
+        session = server.connect()
+        session.create("f")
+        assert session.create("f") == KERR_IN_USE
+
+    def test_delete(self, server):
+        session = server.connect()
+        session.create("f")
+        assert session.delete("f") == KERR_NONE
+        assert not server.exists("f")
+
+    def test_delete_missing_not_found(self, server):
+        assert server.connect().delete("ghost") == KERR_NOT_FOUND
+
+    def test_delete_open_file_in_use(self, server):
+        session = server.connect()
+        session.create("f")
+        handle = session.open_write("f")
+        assert session.delete("f") == KERR_IN_USE
+        handle.close()
+        assert session.delete("f") == KERR_NONE
+
+    def test_file_names_sorted(self, server):
+        session = server.connect()
+        session.create("b")
+        session.create("a")
+        assert server.file_names() == ["a", "b"]
+
+
+class TestSharing:
+    def test_single_writer(self, server):
+        session = server.connect()
+        session.create("f")
+        first = session.open_write("f")
+        assert first is not None
+        assert session.open_write("f") is None  # exclusive
+
+    def test_writer_slot_released_on_close(self, server):
+        session = server.connect()
+        session.create("f")
+        first = session.open_write("f")
+        first.close()
+        assert session.open_write("f") is not None
+
+    def test_many_readers(self, server):
+        session = server.connect()
+        session.create("f")
+        readers = [session.open_read("f") for _ in range(3)]
+        assert all(r is not None for r in readers)
+
+    def test_open_missing_returns_none(self, server):
+        session = server.connect()
+        assert session.open_write("ghost") is None
+        assert session.open_read("ghost") is None
+
+    def test_session_close_releases_subsessions(self, server):
+        session = server.connect()
+        session.create("f")
+        session.open_write("f")
+        session.close()
+        assert server.connect().open_write("f") is not None
+
+    def test_double_close_is_noop(self, server):
+        session = server.connect()
+        session.create("f")
+        handle = session.open_write("f")
+        handle.close()
+        handle.close()
+
+
+class TestReadWrite:
+    def test_write_then_read(self, server):
+        session = server.connect()
+        session.create("f")
+        writer = session.open_write("f")
+        writer.write("BOOT|0.0|NONE|0.0\n")
+        reader = session.open_read("f")
+        assert reader.read_all() == "BOOT|0.0|NONE|0.0\n"
+        assert writer.size() == len("BOOT|0.0|NONE|0.0\n")
+
+    def test_write_on_reader_fails(self, server):
+        session = server.connect()
+        session.create("f")
+        reader = session.open_read("f")
+        assert reader.read_all() == ""
+        assert reader.write("x") == KERR_NOT_FOUND
+
+    def test_operations_on_closed_file_raise(self, server):
+        session = server.connect()
+        session.create("f")
+        handle = session.open_write("f")
+        handle.close()
+        with pytest.raises(ValueError):
+            handle.write("x")
+        with pytest.raises(ValueError):
+            handle.read_all()
+
+
+class TestDurability:
+    def test_unflushed_data_lost_on_power_cut(self, server):
+        session = server.connect()
+        session.create("f")
+        writer = session.open_write("f")
+        writer.write("durable\n")
+        writer.flush()
+        writer.write("volatile")
+        server.power_cut()
+        assert server.committed_content("f") == "durable\n"
+
+    def test_flushed_data_survives(self, server):
+        session = server.connect()
+        session.create("f")
+        writer = session.open_write("f")
+        writer.write("line\n")
+        writer.flush()
+        server.power_cut()
+        assert server.committed_content("f") == "line\n"
+
+    def test_power_cut_releases_handles(self, server):
+        session = server.connect()
+        session.create("f")
+        session.open_write("f")
+        server.power_cut()
+        fresh = server.connect()
+        assert fresh.open_write("f") is not None
+
+    def test_running_system_sees_pending(self, server):
+        """Before the cut, readers see pending data — it is only the
+        durable copy that lags.  This is exactly why the heartbeat's
+        final REBOOT write must be flushed before power drops."""
+        session = server.connect()
+        session.create("f")
+        writer = session.open_write("f")
+        writer.write("pending")
+        reader = session.open_read("f")
+        assert reader.read_all() == "pending"
+        assert server.committed_content("f") == ""
+
+    def test_committed_content_missing_file(self, server):
+        assert server.committed_content("ghost") is None
+
+
+class TestErrorNames:
+    def test_known_codes(self):
+        from repro.symbian.errors import error_name
+
+        assert error_name(0) == "KErrNone"
+        assert error_name(-1) == "KErrNotFound"
+        assert error_name(-4) == "KErrNoMemory"
+        assert error_name(-14) == "KErrInUse"
+        assert error_name(-3) == "KErrCancel"
+
+    def test_unknown_code(self):
+        from repro.symbian.errors import error_name
+
+        assert error_name(-999) == "KErrUnknown(-999)"

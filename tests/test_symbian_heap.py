@@ -1,0 +1,161 @@
+"""Tests for the RHeap allocator."""
+
+import pytest
+
+from repro.symbian.errors import KERR_NO_MEMORY, Leave, PanicRequest
+from repro.symbian.heap import RHeap
+from repro.symbian.memory import AddressSpace
+from repro.symbian.panics import E32USER_CBASE_91, E32USER_CBASE_92
+
+
+def make_heap(words: int = 256) -> RHeap:
+    return RHeap(AddressSpace(), max_words=words)
+
+
+class TestAllocation:
+    def test_alloc_returns_writable_payload(self):
+        heap = make_heap()
+        address = heap.alloc(8)
+        heap.space.write(address, 42)
+        assert heap.space.read(address) == 42
+
+    def test_alloc_distinct_cells(self):
+        heap = make_heap()
+        a = heap.alloc(8)
+        b = heap.alloc(8)
+        assert a != b
+        assert abs(a - b) >= 8
+
+    def test_alloc_exhaustion_returns_none(self):
+        heap = make_heap(words=16)
+        assert heap.alloc(64) is None
+
+    def test_alloc_l_leaves_on_exhaustion(self):
+        heap = make_heap(words=16)
+        with pytest.raises(Leave) as exc:
+            heap.alloc_l(64)
+        assert exc.value.code == KERR_NO_MEMORY
+
+    def test_alloc_l_success(self):
+        heap = make_heap()
+        assert heap.owns(heap.alloc_l(8))
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_heap().alloc(0)
+
+    def test_cell_accounting(self):
+        heap = make_heap()
+        a = heap.alloc(8)
+        heap.alloc(4)
+        assert heap.cell_count == 2
+        assert heap.allocated_words == 12
+        assert heap.cell_size(a) == 8
+
+    def test_cell_size_of_unknown_address(self):
+        with pytest.raises(ValueError):
+            make_heap().cell_size(0x123)
+
+
+class TestFree:
+    def test_free_reduces_cell_count(self):
+        heap = make_heap()
+        address = heap.alloc(8)
+        heap.free(address)
+        assert heap.cell_count == 0
+        assert not heap.owns(address)
+
+    def test_double_free_panics_92(self):
+        heap = make_heap()
+        address = heap.alloc(8)
+        heap.free(address)
+        with pytest.raises(PanicRequest) as exc:
+            heap.free(address)
+        assert exc.value.panic_id == E32USER_CBASE_92
+
+    def test_foreign_pointer_free_panics_92(self):
+        heap = make_heap()
+        heap.alloc(8)
+        with pytest.raises(PanicRequest) as exc:
+            heap.free(0xDEAD)
+        assert exc.value.panic_id == E32USER_CBASE_92
+
+    def test_free_offset_pointer_panics(self):
+        heap = make_heap()
+        address = heap.alloc(8)
+        with pytest.raises(PanicRequest):
+            heap.free(address + 1)
+
+
+class TestFreeListReuse:
+    def test_freed_cell_is_reused(self):
+        heap = make_heap()
+        first = heap.alloc(8)
+        heap.free(first)
+        second = heap.alloc(8)
+        assert second == first
+
+    def test_reused_cell_has_valid_header(self):
+        heap = make_heap()
+        address = heap.alloc(8)
+        heap.free(address)
+        heap.alloc(8)
+        heap.check()  # the recycled header must be intact
+
+    def test_different_size_not_reused(self):
+        heap = make_heap()
+        first = heap.alloc(8)
+        heap.free(first)
+        other = heap.alloc(4)
+        assert other != first
+
+    def test_alloc_free_cycle_never_exhausts(self):
+        heap = make_heap(words=64)
+        for _ in range(1_000):
+            address = heap.alloc(8)
+            assert address is not None
+            heap.free(address)
+
+    def test_leaking_exhausts_despite_free_list(self):
+        heap = make_heap(words=64)
+        allocations = 0
+        while heap.alloc(8) is not None:
+            allocations += 1
+        assert allocations == 64 // 9  # (8 payload + 1 header) words
+
+
+class TestIntegrity:
+    def test_check_passes_on_healthy_heap(self):
+        heap = make_heap()
+        for _ in range(5):
+            heap.alloc(4)
+        heap.check()
+
+    def test_corrupt_header_detected_as_91(self):
+        heap = make_heap()
+        address = heap.alloc(8)
+        heap.corrupt_header(address)
+        with pytest.raises(PanicRequest) as exc:
+            heap.check()
+        assert exc.value.panic_id == E32USER_CBASE_91
+
+    def test_corrupt_header_of_unknown_address(self):
+        with pytest.raises(ValueError):
+            make_heap().corrupt_header(0x42)
+
+    def test_check_after_free_is_clean(self):
+        heap = make_heap()
+        address = heap.alloc(8)
+        heap.free(address)
+        heap.check()
+
+
+class TestConstruction:
+    def test_too_small_heap_rejected(self):
+        with pytest.raises(ValueError):
+            RHeap(AddressSpace(), max_words=1)
+
+    def test_repr(self):
+        heap = make_heap()
+        heap.alloc(8)
+        assert "cells=1" in repr(heap)

@@ -1,0 +1,173 @@
+"""Tests for the kernel executive: panic translation and recovery."""
+
+import pytest
+
+from repro.core.events import EventBus
+from repro.symbian.errors import PanicRaised, PanicRequest
+from repro.symbian.kernel import (
+    TOPIC_PANIC,
+    TOPIC_REBOOT_REQUEST,
+    KernelExecutive,
+)
+from repro.symbian.panics import KERN_EXEC_0, KERN_EXEC_3, USER_11
+
+
+class TestProcesses:
+    def test_create_process(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("Camera")
+        assert process.alive
+        assert kernel.find_process("Camera") is process
+
+    def test_duplicate_name_rejected(self):
+        kernel = KernelExecutive()
+        kernel.create_process("Camera")
+        with pytest.raises(ValueError):
+            kernel.create_process("Camera")
+
+    def test_process_has_runtime_structures(self):
+        process = KernelExecutive().create_process("App")
+        assert process.heap.cell_count == 0
+        assert process.object_index.count == 0
+        assert process.main_thread.alive
+
+    def test_spawn_thread(self):
+        process = KernelExecutive().create_process("App")
+        thread = process.spawn_thread("worker")
+        assert thread.name == "App::worker"
+        assert len(process.threads) == 2
+
+    def test_terminate_process(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+        kernel.terminate_process(process)
+        assert not process.alive
+        assert kernel.find_process("App") is None
+        assert all(not t.alive for t in process.threads)
+
+    def test_processes_listing(self):
+        kernel = KernelExecutive()
+        kernel.create_process("A")
+        kernel.create_process("B")
+        assert {p.name for p in kernel.processes()} == {"A", "B"}
+
+
+class TestFaultTranslation:
+    def test_access_violation_becomes_kern_exec_3(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+        with pytest.raises(PanicRaised) as exc:
+            kernel.execute(process, lambda: process.space.read(0))
+        assert exc.value.panic_id == KERN_EXEC_3
+        assert exc.value.process_name == "App"
+
+    def test_bad_handle_becomes_kern_exec_0(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+        with pytest.raises(PanicRaised) as exc:
+            kernel.execute(process, lambda: process.object_index.at(0x9999))
+        assert exc.value.panic_id == KERN_EXEC_0
+
+    def test_panic_request_passes_through(self):
+        from repro.symbian.descriptors import TDes16
+
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+
+        def overflow():
+            TDes16(2).append("long")
+
+        with pytest.raises(PanicRaised) as exc:
+            kernel.execute(process, overflow)
+        assert exc.value.panic_id == USER_11
+
+    def test_execute_returns_value_on_success(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+        assert kernel.execute(process, lambda x: x * 2, 21) == 42
+
+    def test_execute_in_dead_process_rejected(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+        kernel.terminate_process(process)
+        with pytest.raises(ValueError):
+            kernel.execute(process, lambda: None)
+
+    def test_ordinary_exception_propagates(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+        with pytest.raises(ZeroDivisionError):
+            kernel.execute(process, lambda: 1 / 0)
+
+
+class TestRecovery:
+    def test_panic_terminates_process(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+        with pytest.raises(PanicRaised):
+            kernel.execute(process, lambda: process.space.read(0))
+        assert not process.alive
+        assert kernel.find_process("App") is None
+
+    def test_noncritical_panic_does_not_request_reboot(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+        with pytest.raises(PanicRaised):
+            kernel.execute(process, lambda: process.space.read(0))
+        assert not kernel.reboot_requested
+
+    def test_critical_panic_requests_reboot(self):
+        bus = EventBus()
+        reboots = []
+        bus.subscribe(TOPIC_REBOOT_REQUEST, reboots.append)
+        kernel = KernelExecutive(bus=bus)
+        process = kernel.create_process("Phone", critical=True)
+        with pytest.raises(PanicRaised):
+            kernel.execute(process, lambda: process.space.read(0))
+        assert kernel.reboot_requested
+        assert len(reboots) == 1
+
+    def test_panic_published_before_termination_effects(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(TOPIC_PANIC, lambda e: seen.append(e))
+        kernel = KernelExecutive(bus=bus)
+        process = kernel.create_process("App")
+        with pytest.raises(PanicRaised):
+            kernel.execute(process, lambda: process.space.read(0))
+        assert len(seen) == 1
+        event = seen[0]
+        assert event.panic_id == KERN_EXEC_3
+        assert event.process_name == "App"
+
+    def test_panic_log_accumulates(self):
+        kernel = KernelExecutive()
+        for name in ("A", "B"):
+            process = kernel.create_process(name)
+            with pytest.raises(PanicRaised):
+                kernel.execute(process, lambda p=process: p.space.read(0))
+        assert [e.process_name for e in kernel.panic_log] == ["A", "B"]
+
+    def test_panic_event_carries_time(self):
+        times = iter([123.0])
+        kernel = KernelExecutive(time_fn=lambda: next(times))
+        process = kernel.create_process("App")
+        with pytest.raises(PanicRaised):
+            kernel.execute(process, lambda: process.space.read(0))
+        assert kernel.panic_log[0].time == 123.0
+
+    def test_direct_panic_api(self):
+        kernel = KernelExecutive()
+        process = kernel.create_process("App")
+        with pytest.raises(PanicRaised):
+            kernel.panic(process, KERN_EXEC_3, "forced")
+        assert not process.alive
+
+    def test_request_reboot_without_panic(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(TOPIC_REBOOT_REQUEST, got.append)
+        kernel = KernelExecutive(bus=bus)
+        kernel.request_reboot("watchdog")
+        assert kernel.reboot_requested
+        assert got == ["watchdog"]

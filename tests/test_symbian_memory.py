@@ -1,0 +1,114 @@
+"""Tests for the address-space model."""
+
+import pytest
+
+from repro.symbian.errors import AccessViolation
+from repro.symbian.memory import GUARD_PAGE_END, AddressSpace
+
+
+class TestMapping:
+    def test_mapped_read_write(self):
+        space = AddressSpace()
+        region = space.map_region(64)
+        space.write(region.base, 0x1234)
+        assert space.read(region.base) == 0x1234
+
+    def test_unwritten_words_read_zero(self):
+        space = AddressSpace()
+        region = space.map_region(64)
+        assert space.read(region.base + 10) == 0
+
+    def test_auto_bases_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.map_region(64)
+        b = space.map_region(64)
+        assert a.limit <= b.base or b.limit <= a.base
+
+    def test_explicit_overlap_rejected(self):
+        space = AddressSpace()
+        region = space.map_region(64)
+        with pytest.raises(ValueError):
+            space.map_region(64, base=region.base + 8)
+
+    def test_null_page_not_mappable(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.map_region(64, base=0)
+        with pytest.raises(ValueError):
+            space.map_region(64, base=GUARD_PAGE_END - 1)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().map_region(0)
+
+    def test_region_of(self):
+        space = AddressSpace()
+        region = space.map_region(64)
+        assert space.region_of(region.base) is region
+        assert space.region_of(region.limit) is None
+
+
+class TestFaults:
+    def test_null_read_faults(self):
+        with pytest.raises(AccessViolation) as exc:
+            AddressSpace().read(0)
+        assert exc.value.address == 0
+        assert exc.value.operation == "read"
+
+    def test_null_write_faults(self):
+        with pytest.raises(AccessViolation) as exc:
+            AddressSpace().write(4, 1)
+        assert exc.value.operation == "write"
+
+    def test_unmapped_read_faults(self):
+        with pytest.raises(AccessViolation):
+            AddressSpace().read(0x5000_0000)
+
+    def test_wild_execute_faults(self):
+        with pytest.raises(AccessViolation) as exc:
+            AddressSpace().execute(0xFFFF_0000)
+        assert exc.value.operation == "execute"
+
+    def test_mapped_execute_ok(self):
+        space = AddressSpace()
+        region = space.map_region(64)
+        space.execute(region.base)
+
+    def test_dangling_access_after_unmap(self):
+        space = AddressSpace()
+        region = space.map_region(64)
+        space.write(region.base, 7)
+        space.unmap_region(region)
+        with pytest.raises(AccessViolation):
+            space.read(region.base)
+
+    def test_unmap_clears_contents(self):
+        space = AddressSpace()
+        region = space.map_region(64)
+        space.write(region.base, 7)
+        space.unmap_region(region)
+        fresh = space.map_region(64, base=region.base)
+        assert space.read(fresh.base) == 0
+
+    def test_one_past_end_faults(self):
+        space = AddressSpace()
+        region = space.map_region(64)
+        with pytest.raises(AccessViolation):
+            space.read(region.limit)
+
+
+class TestIntrospection:
+    def test_is_mapped(self):
+        space = AddressSpace()
+        region = space.map_region(16)
+        assert space.is_mapped(region.base)
+        assert not space.is_mapped(0)
+
+    def test_regions_snapshot(self):
+        space = AddressSpace()
+        space.map_region(16)
+        space.map_region(16)
+        assert len(space.regions()) == 2
+
+    def test_repr(self):
+        assert "regions=0" in repr(AddressSpace("proc"))

@@ -1,0 +1,197 @@
+"""Tests for CObject reference counting and the object index/handles."""
+
+import pytest
+
+from repro.symbian.cobject import CObject, CObjectCon
+from repro.symbian.errors import BadHandle, PanicRequest
+from repro.symbian.handles import FIRST_HANDLE, ObjectIndex, RHandleBase
+from repro.symbian.panics import E32USER_CBASE_33, KERN_SVR_0
+
+
+class TestCObject:
+    def test_initial_count_is_one(self):
+        assert CObject().access_count == 1
+
+    def test_open_increments(self):
+        obj = CObject()
+        obj.open_ref()
+        assert obj.access_count == 2
+
+    def test_close_decrements_and_deletes_at_zero(self):
+        obj = CObject()
+        obj.close()
+        assert obj.deleted
+
+    def test_close_with_refs_keeps_alive(self):
+        obj = CObject()
+        obj.open_ref()
+        obj.close()
+        assert not obj.deleted
+        assert obj.access_count == 1
+
+    def test_delete_with_single_ref_ok(self):
+        obj = CObject()
+        obj.delete()
+        assert obj.deleted
+
+    def test_delete_with_outstanding_refs_panics_33(self):
+        obj = CObject("session")
+        obj.open_ref()
+        with pytest.raises(PanicRequest) as exc:
+            obj.delete()
+        assert exc.value.panic_id == E32USER_CBASE_33
+
+    def test_use_after_delete_panics(self):
+        obj = CObject()
+        obj.delete()
+        with pytest.raises(PanicRequest):
+            obj.open_ref()
+        with pytest.raises(PanicRequest):
+            obj.close()
+        with pytest.raises(PanicRequest):
+            obj.delete()
+
+    def test_on_delete_hook(self):
+        calls = []
+
+        class Hooked(CObject):
+            def on_delete(self):
+                calls.append("deleted")
+
+        Hooked().close()
+        assert calls == ["deleted"]
+
+    def test_repr(self):
+        obj = CObject("conn")
+        assert "conn" in repr(obj)
+        obj.delete()
+        assert "deleted" in repr(obj)
+
+
+class TestCObjectCon:
+    def test_add_and_count(self):
+        con = CObjectCon()
+        con.add(CObject("a"))
+        assert con.count == 1
+
+    def test_add_deleted_rejected(self):
+        con = CObjectCon()
+        obj = CObject()
+        obj.delete()
+        with pytest.raises(ValueError):
+            con.add(obj)
+
+    def test_find_by_name(self):
+        con = CObjectCon()
+        obj = CObject("target")
+        con.add(CObject("other"))
+        con.add(obj)
+        assert con.find_by_name("target") is obj
+
+    def test_find_skips_deleted(self):
+        con = CObjectCon()
+        obj = CObject("x")
+        con.add(obj)
+        obj.delete()
+        assert con.find_by_name("x") is None
+
+    def test_remove(self):
+        con = CObjectCon()
+        obj = CObject("x")
+        con.add(obj)
+        con.remove(obj)
+        assert con.count == 0
+
+    def test_iteration(self):
+        con = CObjectCon()
+        a, b = CObject("a"), CObject("b")
+        con.add(a)
+        con.add(b)
+        assert list(con) == [a, b]
+
+
+class TestObjectIndex:
+    def test_add_returns_unique_handles(self):
+        index = ObjectIndex()
+        a = index.add(object())
+        b = index.add(object())
+        assert a != b
+        assert a >= FIRST_HANDLE
+
+    def test_at_resolves(self):
+        index = ObjectIndex()
+        obj = object()
+        handle = index.add(obj)
+        assert index.at(handle) is obj
+
+    def test_at_unknown_raises_bad_handle(self):
+        index = ObjectIndex()
+        with pytest.raises(BadHandle) as exc:
+            index.at(0x9999)
+        assert exc.value.handle == 0x9999
+
+    def test_close_removes(self):
+        index = ObjectIndex()
+        handle = index.add(object())
+        index.close(handle)
+        assert not index.contains(handle)
+
+    def test_close_unknown_panics_kern_svr_0(self):
+        index = ObjectIndex()
+        with pytest.raises(PanicRequest) as exc:
+            index.close(0x1234)
+        assert exc.value.panic_id == KERN_SVR_0
+
+    def test_close_invokes_object_close(self):
+        index = ObjectIndex()
+        obj = CObject()
+        handle = index.add(obj)
+        index.close(handle)
+        assert obj.deleted
+
+    def test_count_and_handles(self):
+        index = ObjectIndex()
+        h = index.add(object())
+        assert index.count == 1
+        assert index.handles() == (h,)
+
+
+class TestRHandleBase:
+    def test_open_and_resolve(self):
+        index = ObjectIndex()
+        handle = RHandleBase(index)
+        obj = object()
+        handle.open_object(obj)
+        assert handle.object() is obj
+
+    def test_resolve_unopened_raises_bad_handle(self):
+        handle = RHandleBase(ObjectIndex())
+        with pytest.raises(BadHandle):
+            handle.object()
+
+    def test_close_zeroes_handle(self):
+        index = ObjectIndex()
+        handle = RHandleBase(index)
+        handle.open_object(object())
+        handle.close()
+        assert handle.handle == 0
+
+    def test_double_close_panics_kern_svr_0(self):
+        index = ObjectIndex()
+        handle = RHandleBase(index)
+        handle.open_object(object())
+        handle.close()
+        with pytest.raises(PanicRequest) as exc:
+            handle.close()
+        assert exc.value.panic_id == KERN_SVR_0
+
+    def test_corrupt_handle_copy_close_panics(self):
+        index = ObjectIndex()
+        handle = RHandleBase(index)
+        handle.open_object(object())
+        saved = handle.handle
+        handle.close()
+        handle.handle = saved
+        with pytest.raises(PanicRequest) as exc:
+            handle.close()
+        assert exc.value.panic_id == KERN_SVR_0

@@ -1,0 +1,103 @@
+"""Tests for the panic registry."""
+
+from repro.symbian import panics as P
+from repro.symbian.panics import (
+    PanicId,
+    describe_panic,
+    is_application_category,
+    is_known,
+    is_system_category,
+    known_panics,
+)
+
+
+class TestRegistry:
+    def test_exactly_the_papers_twenty_panics(self):
+        assert len(known_panics()) == 20
+
+    def test_table2_panics_all_registered(self):
+        expected = {
+            ("KERN-EXEC", 0),
+            ("KERN-EXEC", 3),
+            ("KERN-EXEC", 15),
+            ("E32USER-CBase", 33),
+            ("E32USER-CBase", 46),
+            ("E32USER-CBase", 47),
+            ("E32USER-CBase", 69),
+            ("E32USER-CBase", 91),
+            ("E32USER-CBase", 92),
+            ("USER", 10),
+            ("USER", 11),
+            ("USER", 70),
+            ("KERN-SVR", 0),
+            ("ViewSrv", 11),
+            ("EIKON-LISTBOX", 3),
+            ("EIKON-LISTBOX", 5),
+            ("Phone.app", 2),
+            ("EIKCOCTL", 70),
+            ("MSGS Client", 3),
+            ("MMFAudioClient", 4),
+        }
+        actual = {
+            (info.panic_id.category, info.panic_id.ptype) for info in known_panics()
+        }
+        assert actual == expected
+
+    def test_registry_sorted(self):
+        ids = [info.panic_id for info in known_panics()]
+        assert ids == sorted(ids)
+
+    def test_kern_exec_3_mentions_access_violations(self):
+        assert "dereferencing NULL" in describe_panic(P.KERN_EXEC_3)
+
+    def test_undocumented_panics_flagged(self):
+        undocumented = [
+            info.panic_id for info in known_panics() if not info.documented
+        ]
+        assert P.E32USER_CBASE_91 in undocumented
+        assert P.E32USER_CBASE_92 in undocumented
+        assert P.PHONE_APP_2 in undocumented
+
+    def test_unknown_panic_gets_generic_description(self):
+        text = describe_panic(PanicId("MYSTERY", 42))
+        assert "MYSTERY 42" in text
+
+    def test_is_known(self):
+        assert is_known(P.KERN_EXEC_3)
+        assert not is_known(PanicId("MYSTERY", 42))
+
+
+class TestCategoryClassification:
+    def test_system_categories(self):
+        for category in ("KERN-EXEC", "KERN-SVR", "E32USER-CBase", "USER", "ViewSrv"):
+            assert is_system_category(category)
+            assert not is_application_category(category)
+
+    def test_application_categories(self):
+        for category in (
+            "EIKON-LISTBOX",
+            "EIKCOCTL",
+            "Phone.app",
+            "MSGS Client",
+            "MMFAudioClient",
+        ):
+            assert is_application_category(category)
+            assert not is_system_category(category)
+
+    def test_every_registered_category_classified(self):
+        for info in known_panics():
+            category = info.panic_id.category
+            assert is_system_category(category) != is_application_category(category)
+
+
+class TestPanicId:
+    def test_str(self):
+        assert str(P.KERN_EXEC_3) == "KERN-EXEC 3"
+
+    def test_equality_and_hash(self):
+        assert PanicId("USER", 11) == P.USER_11
+        assert hash(PanicId("USER", 11)) == hash(P.USER_11)
+
+    def test_ordering(self):
+        assert PanicId("A", 1) < PanicId("B", 0)
+        assert PanicId("A", 1) < PanicId("A", 2)

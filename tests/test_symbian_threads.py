@@ -1,0 +1,133 @@
+"""Tests for the preemptive priority thread scheduler."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.symbian.threads import (
+    STATE_FINISHED,
+    ThreadScheduler,
+    cpu,
+    make_workload,
+    sleep,
+)
+
+
+def make_sched(time_slice=0.02):
+    sim = Simulator()
+    return sim, ThreadScheduler(sim, time_slice=time_slice)
+
+
+class TestBasicExecution:
+    def test_single_thread_runs_to_completion(self):
+        sim, sched = make_sched()
+        thread = sched.spawn("worker", 0, make_workload(cpu(0.1)))
+        sim.run_until(1.0)
+        assert thread.state == STATE_FINISHED
+        assert thread.cpu_time == pytest.approx(0.1)
+        assert thread.finished_at == pytest.approx(0.1)
+
+    def test_multiple_steps(self):
+        sim, sched = make_sched()
+        thread = sched.spawn(
+            "worker", 0, make_workload(cpu(0.05), sleep(0.5), cpu(0.05))
+        )
+        sim.run_until(2.0)
+        assert thread.state == STATE_FINISHED
+        assert thread.cpu_time == pytest.approx(0.1)
+        assert thread.finished_at == pytest.approx(0.6)
+
+    def test_empty_workload_finishes_immediately(self):
+        sim, sched = make_sched()
+        thread = sched.spawn("noop", 0, make_workload())
+        assert thread.state == STATE_FINISHED
+
+    def test_invalid_step_kind(self):
+        sim, sched = make_sched()
+        with pytest.raises(ValueError):
+            sched.spawn("bad", 0, iter([("think", 1.0)]))
+
+    def test_negative_duration_rejected(self):
+        sim, sched = make_sched()
+        with pytest.raises(ValueError):
+            sched.spawn("bad", 0, make_workload(cpu(-1.0)))
+
+    def test_invalid_time_slice(self):
+        with pytest.raises(ValueError):
+            ThreadScheduler(Simulator(), time_slice=0.0)
+
+
+class TestPriorities:
+    def test_higher_priority_runs_first(self):
+        sim, sched = make_sched()
+        low = sched.spawn("low", 0, make_workload(cpu(0.1)))
+        high = sched.spawn("high", 10, make_workload(cpu(0.1)))
+        sim.run_until(1.0)
+        assert high.finished_at < low.finished_at
+
+    def test_wakeup_preempts_lower_priority(self):
+        sim, sched = make_sched()
+        low = sched.spawn("low", 0, make_workload(cpu(1.0)))
+        high = sched.spawn("high", 10, make_workload(sleep(0.3), cpu(0.1)))
+        sim.run_until(5.0)
+        # High slept, woke at 0.3, preempted low, finished ~0.4.
+        assert high.finished_at == pytest.approx(0.4, abs=0.05)
+        assert low.finished_at == pytest.approx(1.1, abs=0.05)
+
+    def test_starvation_under_cpu_hog(self):
+        sim, sched = make_sched()
+        hog = sched.spawn("hog", 10, make_workload(cpu(2.0)))
+        victim = sched.spawn("victim", 0, make_workload(cpu(0.01)))
+        sim.run_until(1.0)
+        assert victim.cpu_time == 0.0  # starved while the hog runs
+        sim.run_until(3.0)
+        assert victim.state == STATE_FINISHED
+        del hog
+
+    def test_round_robin_shares_within_priority(self):
+        sim, sched = make_sched(time_slice=0.01)
+        a = sched.spawn("a", 0, make_workload(cpu(0.5)))
+        b = sched.spawn("b", 0, make_workload(cpu(0.5)))
+        sim.run_until(0.5)
+        # Both made comparable progress: time slicing interleaves them.
+        assert a.cpu_time == pytest.approx(0.25, abs=0.02)
+        assert b.cpu_time == pytest.approx(0.25, abs=0.02)
+
+    def test_context_switches_counted(self):
+        sim, sched = make_sched(time_slice=0.01)
+        sched.spawn("a", 0, make_workload(cpu(0.1)))
+        sched.spawn("b", 0, make_workload(cpu(0.1)))
+        sim.run_until(1.0)
+        # 0.2 s of CPU in 0.01 slices, alternating: ~20 dispatches.
+        assert sched.context_switches >= 18
+
+
+class TestSleepWake:
+    def test_sleeping_thread_yields_cpu(self):
+        sim, sched = make_sched()
+        sleeper = sched.spawn("sleeper", 10, make_workload(sleep(1.0), cpu(0.1)))
+        worker = sched.spawn("worker", 0, make_workload(cpu(0.2)))
+        sim.run_until(0.5)
+        assert worker.state == STATE_FINISHED  # ran while sleeper slept
+        sim.run_until(2.0)
+        assert sleeper.state == STATE_FINISHED
+
+    def test_total_cpu_conserved(self):
+        sim, sched = make_sched(time_slice=0.005)
+        threads = [
+            sched.spawn(f"t{i}", i % 3, make_workload(cpu(0.05), sleep(0.1), cpu(0.05)))
+            for i in range(6)
+        ]
+        sim.run_until(10.0)
+        assert all(t.state == STATE_FINISHED for t in threads)
+        total = sum(t.cpu_time for t in threads)
+        assert total == pytest.approx(0.6, abs=0.01)
+
+    def test_cpu_time_never_overlaps(self):
+        """At most one thread accumulates CPU at any instant: total CPU
+        time can never exceed elapsed wall time."""
+        sim, sched = make_sched(time_slice=0.01)
+        threads = [
+            sched.spawn(f"t{i}", 0, make_workload(cpu(1.0))) for i in range(4)
+        ]
+        sim.run_until(1.0)
+        assert sum(t.cpu_time for t in threads) <= 1.0 + 1e-6

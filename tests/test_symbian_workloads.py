@@ -1,0 +1,125 @@
+"""Tests for the heap workloads: discipline vs leaks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rand import Stream
+from repro.symbian.errors import PanicRaised, PanicRequest
+from repro.symbian.kernel import KernelExecutive
+from repro.symbian.panics import E32USER_CBASE_69
+from repro.symbian.workloads import (
+    UI_OBJECT_WORDS,
+    DisciplinedApplication,
+    LeakyApplication,
+    drive_until_exhaustion,
+)
+
+
+def make_process(heap_words=2048):
+    kernel = KernelExecutive()
+    return kernel, kernel.create_process("UiApp", heap_words=heap_words)
+
+
+class TestDisciplinedApplication:
+    def test_footprint_stays_bounded(self):
+        _kernel, process = make_process()
+        app = DisciplinedApplication(process)
+        for _ in range(500):
+            assert app.handle_ui_event()
+        assert app.live_cells == 0
+        assert app.operations == 500
+
+    def test_never_exhausts_within_budget(self):
+        _kernel, process = make_process(heap_words=256)
+        app = DisciplinedApplication(process)
+        count = drive_until_exhaustion(app, max_operations=2_000)
+        assert count == 2_000
+        assert app.allocation_failures == 0
+
+
+class TestLeakyApplication:
+    def test_leak_grows_heap(self):
+        _kernel, process = make_process()
+        app = LeakyApplication(process, Stream(5), leak_probability=0.5)
+        for _ in range(40):
+            app.handle_ui_event()
+        assert app.live_cells > 0
+        assert app.live_cells == app.leaked_cells
+
+    def test_trapped_exhaustion_is_clean(self):
+        _kernel, process = make_process(heap_words=2048)
+        app = LeakyApplication(process, Stream(5), leak_probability=1.0)
+        count = drive_until_exhaustion(app)
+        # Heap of 2048 words, 33 per (payload+header) allocation.
+        expected = 2048 // (UI_OBJECT_WORDS + 1)
+        assert count == pytest.approx(expected, abs=2)
+        assert app.allocation_failures == 1
+        assert process.alive  # degraded, not dead
+
+    def test_untrapped_exhaustion_panics_69(self):
+        kernel, process = make_process(heap_words=1024)
+        app = LeakyApplication(
+            process, Stream(5), leak_probability=1.0, trap_allocation=False
+        )
+
+        def run_to_death():
+            while app.handle_ui_event():
+                pass
+
+        with pytest.raises(PanicRaised) as exc:
+            kernel.execute(process, run_to_death)
+        assert exc.value.panic_id == E32USER_CBASE_69
+        assert not process.alive
+
+    def test_leak_probability_validated(self):
+        _kernel, process = make_process()
+        with pytest.raises(ValueError):
+            LeakyApplication(process, Stream(1), leak_probability=1.5)
+
+    def test_zero_leak_probability_behaves_like_disciplined(self):
+        _kernel, process = make_process(heap_words=256)
+        app = LeakyApplication(process, Stream(5), leak_probability=0.0)
+        count = drive_until_exhaustion(app, max_operations=1_000)
+        assert count == 1_000
+        assert app.live_cells == 0
+
+    def test_higher_leak_rate_dies_sooner(self):
+        def lifetime(prob):
+            _kernel, process = make_process(heap_words=4096)
+            app = LeakyApplication(process, Stream(11), leak_probability=prob)
+            return drive_until_exhaustion(app, max_operations=50_000)
+
+        assert lifetime(0.8) < lifetime(0.2) < lifetime(0.05)
+
+
+@given(
+    ops=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_disciplined_app_never_leaks_property(ops, seed):
+    """Invariant: under ANY operation count the disciplined app's heap
+    is empty after every operation returns."""
+    del seed  # the disciplined app draws no randomness
+    _kernel, process = make_process()
+    app = DisciplinedApplication(process)
+    for _ in range(ops):
+        if not app.handle_ui_event():
+            break
+        assert process.heap.cell_count == 0
+
+
+@given(
+    leak_probability=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_leaky_app_live_cells_equal_leaks_property(leak_probability, seed):
+    """Invariant: every live cell of the leaky app is an accounted leak."""
+    _kernel, process = make_process(heap_words=16_384)
+    app = LeakyApplication(process, Stream(seed), leak_probability=leak_probability)
+    for _ in range(100):
+        if not app.handle_ui_event():
+            break
+    assert app.live_cells == app.leaked_cells
