@@ -11,15 +11,17 @@ Two extensions beyond the paper's §6:
 """
 
 import math
+import os
 
 from repro.analysis.reliability import compute_reliability
 from repro.analysis.tables import render_table
 from repro.core.clock import MONTH
-from repro.experiments.campaign import run_campaign
 from repro.experiments.config import CampaignConfig
+from repro.experiments.runner import run_campaigns
 from repro.phone.fleet import FleetConfig
 
 FLEET_SIZES = [10, 25, 50]
+WORKERS = min(3, os.cpu_count() or 1)
 
 
 def test_ext_reliability_fits(benchmark, campaign):
@@ -70,23 +72,33 @@ def test_ext_fleet_scaling(benchmark):
     """MTBF estimation precision vs fleet size."""
 
     def sweep():
-        out = []
-        for size in FLEET_SIZES:
-            fleet = FleetConfig(
-                phone_count=size,
-                duration=14 * MONTH,
-                enroll_fraction_min=0.15,
-                enroll_fraction_max=0.97,
+        configs = [
+            CampaignConfig(
+                fleet=FleetConfig(
+                    phone_count=size,
+                    duration=14 * MONTH,
+                    enroll_fraction_min=0.15,
+                    enroll_fraction_max=0.97,
+                ),
+                seed=31,
             )
-            result = run_campaign(CampaignConfig(fleet=fleet, seed=31))
-            availability = result.report.availability
-            events = availability.freeze_count + availability.self_shutdown_count
+            for size in FLEET_SIZES
+        ]
+        out = []
+        for size, summary in zip(
+            FLEET_SIZES, run_campaigns(configs, workers=WORKERS)
+        ):
+            availability = summary.availability
+            events = (
+                availability["freeze_count"]
+                + availability["self_shutdown_count"]
+            )
             out.append(
                 (
                     size,
                     events,
-                    availability.mtbf_freeze_hours,
-                    availability.failure_interval_days,
+                    availability["mtbf_freeze_hours"],
+                    availability["failure_interval_days"],
                 )
             )
         return out

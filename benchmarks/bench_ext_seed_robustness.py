@@ -1,41 +1,47 @@
 """EXT — seed robustness: the findings are not one lucky draw.
 
-Re-runs a half-scale campaign under five different seeds and reports
-mean and spread of every headline metric.  The paper's qualitative
-claims must hold for *every* seed; the default-seed numbers quoted in
-EXPERIMENTS.md must sit inside the observed band.
+Re-runs a half-scale campaign under five different seeds — fanned out
+over worker processes by :func:`repro.experiments.runner.run_campaigns`
+— and reports mean and spread of every headline metric.  The paper's
+qualitative claims must hold for *every* seed; the default-seed numbers
+quoted in EXPERIMENTS.md must sit inside the observed band.
 """
 
 import math
+import os
 
 from repro.analysis.tables import render_table
 from repro.core.clock import MONTH
-from repro.experiments.campaign import run_campaign
 from repro.experiments.config import CampaignConfig
+from repro.experiments.runner import run_campaigns
+from repro.experiments.summary import CampaignSummary
 from repro.phone.fleet import FleetConfig
 
 SEEDS = [11, 22, 33, 44, 55]
+WORKERS = min(4, os.cpu_count() or 1)
 
 
-def run_one(seed: int) -> dict:
+def _config(seed: int) -> CampaignConfig:
     fleet = FleetConfig(
         phone_count=12,
         duration=10 * MONTH,
         enroll_fraction_min=0.05,
         enroll_fraction_max=0.6,
     )
-    result = run_campaign(CampaignConfig(fleet=fleet, seed=seed))
-    report = result.report
+    return CampaignConfig(fleet=fleet, seed=seed)
+
+
+def metrics(summary: CampaignSummary) -> dict:
     return {
-        "mtbf_freeze_h": report.availability.mtbf_freeze_hours,
-        "mtbs_h": report.availability.mtbf_self_shutdown_hours,
-        "failure_interval_d": report.availability.failure_interval_days,
-        "kern_exec_3_pct": report.panic_table.access_violation_percent,
-        "heap_pct": report.panic_table.heap_management_percent,
-        "hl_related_pct": report.hl.related_percent,
-        "cascade_pct": report.bursts.cascade_panic_percent,
-        "self_fraction": 100 * report.study.self_shutdown_fraction(),
-        "modal_apps": float(report.runapps.modal_app_count),
+        "mtbf_freeze_h": summary.availability["mtbf_freeze_hours"],
+        "mtbs_h": summary.availability["mtbf_self_shutdown_hours"],
+        "failure_interval_d": summary.availability["failure_interval_days"],
+        "kern_exec_3_pct": summary.panics["access_violation_percent"],
+        "heap_pct": summary.panics["heap_management_percent"],
+        "hl_related_pct": summary.hl["related_percent"],
+        "cascade_pct": summary.bursts["cascade_panic_percent"],
+        "self_fraction": 100 * summary.shutdowns["self_shutdown_fraction"],
+        "modal_apps": float(summary.runapps["modal_app_count"]),
     }
 
 
@@ -53,9 +59,13 @@ PAPER = {
 
 
 def test_ext_seed_robustness(benchmark):
-    results = benchmark.pedantic(
-        lambda: [run_one(seed) for seed in SEEDS], rounds=1, iterations=1
-    )
+    def sweep():
+        summaries = run_campaigns(
+            [_config(seed) for seed in SEEDS], workers=WORKERS
+        )
+        return [metrics(summary) for summary in summaries]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     rows = []
     for key, paper_value in PAPER.items():

@@ -2,11 +2,19 @@
 
 Extends the paper's fleet-level averages with per-phone rates, a
 Poisson-homogeneity test, and breakdowns by the enrollment metadata
-(OS version, region) the logger records.
+(OS version, region) the logger records.  A second test checks the
+*cross-campaign* face of the same question — the pooled fleet failure
+rate must be stable across seeds — via the parallel sweep runner.
 """
+
+import os
 
 from repro.analysis.tables import render_table
 from repro.analysis.variability import compute_variability
+from repro.core.clock import MONTH
+from repro.experiments.config import CampaignConfig
+from repro.experiments.runner import run_campaigns
+from repro.phone.fleet import FleetConfig
 
 
 def test_ext_fleet_variability(benchmark, campaign):
@@ -72,3 +80,41 @@ def test_ext_fleet_variability(benchmark, campaign):
         if group.failures >= 10:
             ratio = group.rate_per_khr / stats.pooled_rate_per_khr
             assert 0.5 < ratio < 2.0
+
+
+def test_ext_rate_stability_across_seeds(benchmark):
+    """The pooled failure rate is a property of the fault model, not of
+    one lucky seed: re-drawn fleets must land within a factor of two of
+    each other."""
+    seeds = [101, 202, 303]
+    configs = [
+        CampaignConfig(
+            fleet=FleetConfig(
+                phone_count=10,
+                duration=8 * MONTH,
+                enroll_fraction_min=0.05,
+                enroll_fraction_max=0.5,
+            ),
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+    summaries = benchmark.pedantic(
+        lambda: run_campaigns(configs, workers=min(3, os.cpu_count() or 1)),
+        rounds=1,
+        iterations=1,
+    )
+
+    rates = [summary.pooled_failure_rate_per_khr for summary in summaries]
+    print()
+    print(
+        "Pooled failure rate across seeds\n"
+        + render_table(
+            ("Seed", "Rate/1000h"),
+            [(seed, f"{rate:.2f}") for seed, rate in zip(seeds, rates)],
+        )
+    )
+    benchmark.extra_info["rates"] = [round(rate, 3) for rate in rates]
+
+    assert all(rate > 0 for rate in rates)
+    assert max(rates) / min(rates) < 2.0

@@ -26,6 +26,8 @@ Quickstart::
 
 from repro.experiments.campaign import CampaignResult, run_campaign
 from repro.experiments.config import CampaignConfig
+from repro.experiments.runner import run_campaigns
+from repro.experiments.summary import CampaignSummary
 from repro.forum.study import run_forum_study
 
 __version__ = "1.0.0"
@@ -33,7 +35,9 @@ __version__ = "1.0.0"
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "CampaignSummary",
     "run_campaign",
+    "run_campaigns",
     "run_forum_study",
     "__version__",
 ]

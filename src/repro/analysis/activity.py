@@ -118,6 +118,18 @@ class ActivityTable:
         """Categories observed only during messaging (paper: Phone.app)."""
         return self._exclusive_to(ACTIVITY_MESSAGE)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot of Table 3 (cells as sorted triples)."""
+        return {
+            "total_panics": self.total_panics,
+            "realtime_percent": self.realtime_percent,
+            "cells": [
+                [activity, category, percent]
+                for (activity, category), percent in sorted(self.cells.items())
+            ],
+            "row_totals": dict(sorted(self.row_totals.items())),
+        }
+
     def _exclusive_to(self, activity: str) -> Tuple[str, ...]:
         out = []
         for category in self.categories():

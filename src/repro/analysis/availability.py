@@ -64,6 +64,24 @@ class AvailabilityStats:
             self.freeze_count + self.self_shutdown_count
         ) / self.observed_hours_total
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot, including the derived intervals."""
+        return {
+            "phone_count": self.phone_count,
+            "observed_hours_total": self.observed_hours_total,
+            "freeze_count": self.freeze_count,
+            "self_shutdown_count": self.self_shutdown_count,
+            "mtbf_freeze_hours": self.mtbf_freeze_hours,
+            "mtbf_self_shutdown_hours": self.mtbf_self_shutdown_hours,
+            "per_phone_mtbf_freeze_hours": self.per_phone_mtbf_freeze_hours,
+            "per_phone_mtbf_self_shutdown_hours": (
+                self.per_phone_mtbf_self_shutdown_hours
+            ),
+            "freeze_interval_days": self.freeze_interval_days,
+            "self_shutdown_interval_days": self.self_shutdown_interval_days,
+            "failure_interval_days": self.failure_interval_days,
+        }
+
 
 def compute_availability(
     dataset: Dataset,

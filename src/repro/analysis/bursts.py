@@ -81,6 +81,20 @@ class BurstStats:
     def max_burst_size(self) -> int:
         return max((b.size for b in self.bursts), default=0)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot of Figure 3."""
+        return {
+            "gap": self.gap,
+            "burst_count": len(self.bursts),
+            "total_panics": self.total_panics,
+            "cascade_panic_percent": self.cascade_panic_percent,
+            "max_burst_size": self.max_burst_size,
+            "size_distribution": [
+                [size, percent]
+                for size, percent in self.size_distribution().items()
+            ],
+        }
+
 
 def compute_bursts(dataset: Dataset, gap: float = DEFAULT_BURST_GAP) -> BurstStats:
     """Group each phone's panics into cascades."""

@@ -95,6 +95,28 @@ class HlRelationship:
             if row.total > 0 and row.self_shutdown_related == row.total
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot of Figure 5."""
+        return {
+            "window": self.window,
+            "related_percent": self.related_percent,
+            "related_percent_all_shutdowns": self.related_percent_all_shutdowns,
+            "rows": [
+                {
+                    "category": row.category,
+                    "total": row.total,
+                    "freeze_related": row.freeze_related,
+                    "self_shutdown_related": row.self_shutdown_related,
+                    "isolated": row.isolated,
+                }
+                for row in self.rows
+            ],
+            "never_hl_categories": list(self.never_hl_categories()),
+            "always_self_shutdown_categories": list(
+                self.always_self_shutdown_categories()
+            ),
+        }
+
 
 def compute_hl_relationship(
     dataset: Dataset,

@@ -61,6 +61,18 @@ class OutputFailureStats:
             return float("inf") if self.panic_correlated_fraction > 0 else 1.0
         return self.panic_correlated_fraction / self.chance_fraction
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot of the user-report statistics."""
+        return {
+            "report_count": self.report_count,
+            "reports_by_kind": dict(sorted(self.reports_by_kind.items())),
+            "observed_hours": self.observed_hours,
+            "panic_correlated_fraction": self.panic_correlated_fraction,
+            "chance_fraction": self.chance_fraction,
+            "window": self.window,
+            "report_interval_days": self.report_interval_days,
+        }
+
 
 def compute_output_failures(
     dataset: Dataset,

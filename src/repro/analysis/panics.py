@@ -67,6 +67,23 @@ class PanicTable:
             totals[key] = totals.get(key, 0.0) + row.percent
         return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot of Table 2 (rows keep their order)."""
+        return {
+            "total": self.total,
+            "access_violation_percent": self.access_violation_percent,
+            "heap_management_percent": self.heap_management_percent,
+            "rows": [
+                {
+                    "category": row.panic_id.category,
+                    "ptype": row.panic_id.ptype,
+                    "count": row.count,
+                    "percent": row.percent,
+                }
+                for row in self.rows
+            ],
+        }
+
 
 def compute_panic_table(dataset: Dataset) -> PanicTable:
     """Build Table 2 from the raw panic records."""

@@ -125,6 +125,13 @@ def fit_reliability(
         ks_pvalue=float(exp_ks.pvalue),
     )
 
+    # A (numerically) constant sample has no Weibull MLE — the shape
+    # diverges, and scipy's moment-based initial guess warns about
+    # catastrophic cancellation before producing garbage.  Report the
+    # exponential fit only.
+    if max(intervals) - min(intervals) <= 1e-9 * max(mean, 1e-12):
+        return ReliabilityStats(kind, intervals, exponential, None)
+
     shape, _loc, scale = scipy_stats.weibull_min.fit(intervals, floc=0.0)
     wb_ll = float(
         scipy_stats.weibull_min.logpdf(intervals, shape, 0.0, scale).sum()

@@ -49,6 +49,26 @@ class ReproductionReport:
     runapps: RunningAppsStats
     output_failures: OutputFailureStats
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-native) snapshot of every section.
+
+        This is the report's serialization layer: everything a
+        downstream consumer (sweep runner, cache, benchmarks) needs,
+        with no reference back to the dataset or the simulator.
+        """
+        return {
+            "shutdowns": self.study.to_dict(),
+            "availability": self.availability.to_dict(),
+            "panics": self.panic_table.to_dict(),
+            "bursts": self.bursts.to_dict(),
+            "hl": self.hl.to_dict(),
+            "activity": self.activity.to_dict(),
+            "runapps": self.runapps.to_dict(),
+            "output_failures": self.output_failures.to_dict(),
+        }
+
     # -- rendering -------------------------------------------------------------
 
     def render_headline(self) -> str:

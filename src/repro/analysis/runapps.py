@@ -70,6 +70,23 @@ class RunningAppsStats:
         ranked = sorted(self.app_totals.items(), key=lambda kv: -kv[1])
         return ranked[:n]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot of Figure 6 + Table 4."""
+        return {
+            "total_panics": self.total_panics,
+            "modal_app_count": self.modal_app_count,
+            "count_distribution": [
+                [count, percent]
+                for count, percent in self.count_distribution.items()
+            ],
+            "table": [
+                [category, outcome, app, percent]
+                for (category, outcome), cell in sorted(self.table.items())
+                for app, percent in sorted(cell.items())
+            ],
+            "app_totals": dict(sorted(self.app_totals.items())),
+        }
+
 
 def compute_running_apps(
     dataset: Dataset,

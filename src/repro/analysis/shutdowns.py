@@ -17,6 +17,7 @@ From the boot records alone:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -105,23 +106,22 @@ class ShutdownStudy:
     ) -> List[Tuple[float, float, int]]:
         """Histogram of reboot durations: (lo, hi, count) per bin.
 
-        ``bin_edges`` must be increasing; durations outside the edges
-        fall off the histogram (callers pick the range they plot).
+        ``bin_edges`` must be strictly increasing.  Every bin is
+        half-open on the right — ``[lo, hi)`` — so a duration equal to
+        an interior edge lands in the *upper* bin, and a duration equal
+        to the **last** edge falls off the histogram entirely, exactly
+        like durations below the first edge (callers pick the range
+        they plot).  Binning is O(log bins) per event via bisect.
         """
-        if len(bin_edges) < 2 or any(
-            b2 <= b1 for b1, b2 in zip(bin_edges, bin_edges[1:])
-        ):
+        edges = list(bin_edges)
+        if len(edges) < 2 or any(b2 <= b1 for b1, b2 in zip(edges, edges[1:])):
             raise ValueError("bin_edges must be strictly increasing, length >= 2")
-        counts = [0] * (len(bin_edges) - 1)
+        counts = [0] * (len(edges) - 1)
         for event in self.shutdowns:
-            d = event.duration
-            for i in range(len(counts)):
-                if bin_edges[i] <= d < bin_edges[i + 1]:
-                    counts[i] += 1
-                    break
-        return [
-            (bin_edges[i], bin_edges[i + 1], counts[i]) for i in range(len(counts))
-        ]
+            index = bisect.bisect_right(edges, event.duration) - 1
+            if 0 <= index < len(counts):
+                counts[index] += 1
+        return [(edges[i], edges[i + 1], counts[i]) for i in range(len(counts))]
 
     def median_self_shutdown_duration(
         self, threshold: float = SELF_SHUTDOWN_THRESHOLD
@@ -155,6 +155,20 @@ class ShutdownStudy:
         for freeze in self.freezes:
             out[freeze.phone_id] = out.get(freeze.phone_id, 0) + 1
         return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot of the study's aggregate findings."""
+        return {
+            "freeze_count": len(self.freezes),
+            "shutdown_count": len(self.shutdowns),
+            "self_shutdown_count": len(self.self_shutdowns()),
+            "self_shutdown_fraction": self.self_shutdown_fraction(),
+            "median_self_shutdown_duration_s": self.median_self_shutdown_duration(),
+            "night_mode_duration_s": self.night_mode_duration(),
+            "lowbt_count": self.lowbt_count,
+            "maoff_count": self.maoff_count,
+            "first_boot_count": self.first_boot_count,
+        }
 
 
 def compute_shutdown_study(dataset: Dataset) -> ShutdownStudy:

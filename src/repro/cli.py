@@ -1,18 +1,24 @@
 """Command-line interface.
 
-Three subcommands cover the whole study:
+Four subcommands cover the whole study:
 
 * ``campaign`` — simulate a deployment campaign, print the full report,
   optionally export the raw per-phone log files to a directory;
 * ``analyze``  — ingest previously exported log files and rerun the
   offline analysis (the logs are the complete interface: this is the
-  paper's analysis workstation);
+  paper's analysis workstation).  Takes the same coalescence window and
+  report-shape flags as ``campaign``, so an exported-then-reanalyzed
+  campaign reproduces the same report;
+* ``sweep``    — re-run the campaign across many seeds in parallel
+  (the reproduction's robustness workhorse), with an optional on-disk
+  summary cache;
 * ``forum``    — run the §4 web-forum study.
 
 Usage::
 
     python -m repro.cli campaign --phones 25 --months 14 --export logs/
-    python -m repro.cli analyze logs/
+    python -m repro.cli analyze logs/ --window 300 --headline-only
+    python -m repro.cli sweep --seeds 11,22,33 --workers 4 --cache .sweep/
     python -m repro.cli forum --noise 0.25
 """
 
@@ -22,11 +28,16 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.coalescence import DEFAULT_WINDOW
 from repro.analysis.ingest import Dataset
 from repro.analysis.report import build_report
+from repro.analysis.tables import render_table
 from repro.core.clock import MONTH
+from repro.experiments.cache import CampaignCache
 from repro.experiments.campaign import run_campaign
+from repro.experiments.compare import headline_comparison
 from repro.experiments.config import CampaignConfig
+from repro.experiments.runner import run_campaigns
 from repro.forum.corpus import CorpusConfig
 from repro.forum.study import run_forum_study
 from repro.logger.transfer import load_lines_from_dir
@@ -68,6 +79,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--end-time", type=float, default=None,
         help="campaign end (seconds since epoch); default: last record",
     )
+    analyze.add_argument(
+        "--window", type=float, default=DEFAULT_WINDOW,
+        help="panic/HL coalescence window in seconds (paper: 300)",
+    )
+    analyze.add_argument(
+        "--headline-only", action="store_true",
+        help="print only the headline findings",
+    )
+    analyze.add_argument(
+        "--extended", action="store_true",
+        help="append the extension analyses (downtime, reliability, "
+        "variability, trends)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run one campaign per seed, in parallel"
+    )
+    sweep.add_argument(
+        "--seeds", default="11,22,33,44,55",
+        help="comma-separated seed list (default: 11,22,33,44,55)",
+    )
+    sweep.add_argument("--phones", type=int, default=25)
+    sweep.add_argument("--months", type=float, default=14.0)
+    sweep.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes (1 = serial in-process)",
+    )
+    sweep.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="cache campaign summaries here; repeated sweeps are free",
+    )
+    sweep.add_argument(
+        "--window", type=float, default=DEFAULT_WINDOW,
+        help="panic/HL coalescence window in seconds (paper: 300)",
+    )
 
     forum = sub.add_parser("forum", help="run the section-4 forum study")
     forum.add_argument("--noise", type=float, default=0.25)
@@ -98,8 +144,85 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"no .log files found in {args.directory}", file=sys.stderr)
         return 1
     dataset = Dataset.from_lines(lines, end_time=args.end_time)
-    report = build_report(dataset)
-    print(report.render())
+    report = build_report(dataset, window=args.window)
+    if args.headline_only:
+        print(report.render_headline())
+    elif args.extended:
+        print(report.render_extended())
+    else:
+        print(report.render())
+    return 0
+
+
+def _parse_seeds(text: str) -> List[int]:
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"invalid --seeds value: {text!r}")
+    if not seeds:
+        raise SystemExit("at least one seed is required")
+    return seeds
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    seeds = _parse_seeds(args.seeds)
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    configs = [
+        CampaignConfig(
+            fleet=FleetConfig(
+                phone_count=args.phones, duration=args.months * MONTH
+            ),
+            seed=seed,
+            coalescence_window=args.window,
+        )
+        for seed in seeds
+    ]
+    try:
+        cache = CampaignCache(args.cache) if args.cache else None
+    except OSError as exc:
+        raise SystemExit(f"cannot use cache directory {args.cache!r}: {exc}")
+    summaries = run_campaigns(configs, workers=args.workers, cache=cache)
+
+    rows = []
+    for summary in summaries:
+        availability = summary.availability
+        rows.append(
+            (
+                summary.seed,
+                availability["freeze_count"],
+                availability["self_shutdown_count"],
+                f"{availability['mtbf_freeze_hours']:.0f}",
+                f"{availability['mtbf_self_shutdown_hours']:.0f}",
+                f"{availability['failure_interval_days']:.1f}",
+                f"{summary.panics['access_violation_percent']:.1f}",
+                f"{summary.hl['related_percent']:.1f}",
+            )
+        )
+    print(
+        f"Sweep: {len(seeds)} seeds x {args.phones} phones x "
+        f"{args.months:g} months ({args.workers} workers)\n"
+        + render_table(
+            (
+                "Seed",
+                "Freezes",
+                "Self-shut",
+                "MTBFr (h)",
+                "MTBS (h)",
+                "Fail (d)",
+                "KE-3 (%)",
+                "HL rel (%)",
+            ),
+            rows,
+        )
+    )
+    print()
+    print(headline_comparison(summaries[0]).render())
+    if cache is not None:
+        print(
+            f"\ncache {args.cache}: {cache.hits} hits, "
+            f"{cache.misses} misses, {len(cache)} entries"
+        )
     return 0
 
 
@@ -119,6 +242,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "forum":
         return _cmd_forum(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -21,10 +21,13 @@ class ScheduledEvent:
     """Handle to a scheduled callback.
 
     Holding the handle allows cancellation.  Cancellation is lazy: the
-    entry stays in the heap but is skipped when popped.
+    entry stays in the heap but is skipped when popped.  The owning
+    simulator counts cancellations and compacts the heap when too many
+    dead entries accumulate, so a long campaign that schedules and
+    cancels millions of timers does not keep them all resident.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -40,10 +43,16 @@ class ScheduledEvent:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling twice is a no-op."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
+            self._sim = None
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -68,11 +77,16 @@ class Simulator:
         sim.run_until(3600.0)
     """
 
+    #: Compact the heap once cancelled entries outnumber live ones
+    #: (and the heap is big enough for a rebuild to be worth it).
+    COMPACTION_MIN_SIZE = 64
+
     def __init__(self, start: float = 0.0) -> None:
         self.clock = SimClock(start)
         self._heap: List[ScheduledEvent] = []
         self._seq = 0
         self._events_fired = 0
+        self._cancelled_count = 0
         self._running = False
 
     @property
@@ -102,6 +116,7 @@ class Simulator:
                 f"cannot schedule in the past: now={self.clock.now}, t={time}"
             )
         event = ScheduledEvent(float(time), priority, self._seq, fn, args)
+        event._sim = self
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
@@ -131,6 +146,7 @@ class Simulator:
         if not self._heap:
             return False
         event = heapq.heappop(self._heap)
+        event._sim = None
         self.clock.advance_to(event.time)
         self._events_fired += 1
         event.fn(*event.args)
@@ -145,6 +161,7 @@ class Simulator:
                 if not self._heap or self._heap[0].time > t:
                     break
                 event = heapq.heappop(self._heap)
+                event._sim = None
                 self.clock.advance_to(event.time)
                 self._events_fired += 1
                 event.fn(*event.args)
@@ -162,17 +179,39 @@ class Simulator:
             self._running = False
 
     def pending_count(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled, non-cancelled events (O(1))."""
+        return len(self._heap) - self._cancelled_count
 
     def _guard_reentry(self) -> None:
         if self._running:
             raise SimulationError("simulator run loop is not re-entrant")
         self._running = True
 
+    def _note_cancelled(self) -> None:
+        """A live heap entry was cancelled; compact when dead entries
+        dominate the heap."""
+        self._cancelled_count += 1
+        if (
+            len(self._heap) >= self.COMPACTION_MIN_SIZE
+            and self._cancelled_count * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Safe at any point between event firings: the event order is
+        total — ``(time, priority, seq)`` — so a re-heapified queue
+        pops in exactly the same sequence.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_count = 0
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_count -= 1
 
     def __repr__(self) -> str:
         return (

@@ -2,18 +2,39 @@
 
 * :mod:`config`   — the campaign configuration (25 phones, 14 months).
 * :mod:`campaign` — run fleet -> collect -> analyse in one call.
+* :mod:`summary`  — :class:`CampaignSummary`, the serializable snapshot.
+* :mod:`runner`   — :func:`run_campaigns`, the parallel multi-seed runner.
+* :mod:`cache`    — the on-disk summary cache for repeated sweeps.
 * :mod:`paper`    — the paper's published numbers, as data.
 * :mod:`compare`  — paper-vs-measured comparison tables.
 """
 
+from repro.experiments.cache import CampaignCache, campaign_cache_key
 from repro.experiments.campaign import CampaignResult, run_campaign
-from repro.experiments.compare import Comparison, ComparisonRow
+from repro.experiments.compare import (
+    Comparison,
+    ComparisonRow,
+    headline_comparison,
+)
 from repro.experiments.config import CampaignConfig
+from repro.experiments.runner import (
+    CampaignExecutionError,
+    run_campaigns,
+    summarize_campaign,
+)
+from repro.experiments.summary import CampaignSummary
 
 __all__ = [
+    "CampaignCache",
     "CampaignConfig",
+    "CampaignExecutionError",
     "CampaignResult",
+    "CampaignSummary",
+    "campaign_cache_key",
     "run_campaign",
+    "run_campaigns",
+    "summarize_campaign",
     "Comparison",
     "ComparisonRow",
+    "headline_comparison",
 ]

@@ -1,0 +1,112 @@
+"""On-disk campaign-summary cache.
+
+Re-running an identical campaign config is pure waste: the simulation
+is deterministic in its seed, so the summary is fully determined by
+``(CampaignConfig, summary format version)`` — the seed rides inside
+the config.  The cache keys a content hash of exactly that and stores
+one JSON file per campaign:
+
+    <dir>/<sha256-prefix>.json
+        {"key": ..., "format_version": ..., "summary": {...}}
+
+Anything unreadable — truncated writes, a foreign file, an entry from
+an older format version — is treated as a miss and silently
+recomputed; ``put`` overwrites it atomically (temp file + rename).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.experiments.config import CampaignConfig
+from repro.experiments.summary import SUMMARY_FORMAT_VERSION, CampaignSummary
+
+#: Length of the hex-digest prefix used as the file name.
+KEY_LENGTH = 32
+
+
+def campaign_cache_key(config: CampaignConfig) -> str:
+    """Content hash identifying one campaign's summary.
+
+    Covers every config knob (fleet, logger, fault model, seed,
+    coalescence window) plus the summary format version, via canonical
+    (sorted-keys) JSON.
+    """
+    payload = json.dumps(
+        {"config": config.to_dict(), "format_version": SUMMARY_FORMAT_VERSION},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:KEY_LENGTH]
+
+
+class CampaignCache:
+    """A directory of cached :class:`CampaignSummary` JSON files."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, config: CampaignConfig) -> str:
+        return os.path.join(self.directory, campaign_cache_key(config) + ".json")
+
+    def get(self, config: CampaignConfig) -> Optional[CampaignSummary]:
+        """The cached summary for ``config``, or ``None`` on a miss."""
+        key = campaign_cache_key(config)
+        path = os.path.join(self.directory, key + ".json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("key") != key:
+                raise ValueError("key mismatch")
+            if entry.get("format_version") != SUMMARY_FORMAT_VERSION:
+                raise ValueError("format version mismatch")
+            summary = CampaignSummary.from_dict(entry["summary"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, config: CampaignConfig, summary: CampaignSummary) -> str:
+        """Store ``summary`` under ``config``'s key; returns the path."""
+        key = campaign_cache_key(config)
+        path = os.path.join(self.directory, key + ".json")
+        entry = {
+            "key": key,
+            "format_version": SUMMARY_FORMAT_VERSION,
+            "summary": summary.to_dict(),
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=key, suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.directory) if name.endswith(".json")
+        )
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                os.unlink(os.path.join(self.directory, name))
+                removed += 1
+        return removed

@@ -10,9 +10,12 @@ rough factor, where thresholds fall.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis.tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.experiments.summary import CampaignSummary
 
 
 @dataclass(frozen=True)
@@ -76,3 +79,37 @@ class Comparison:
 
     def all_within_factor(self, factor: float) -> bool:
         return all(row.within_factor(factor) for row in self.rows)
+
+
+def headline_comparison(summary: "CampaignSummary") -> Comparison:
+    """Paper-vs-measured table for one campaign summary's headlines.
+
+    Works from the serialized summary alone — no fleet, dataset, or
+    report object needed — so sweep results (including cached ones)
+    can be compared long after the simulator is gone.
+    """
+    from repro.experiments import paper
+
+    comparison = Comparison(f"Headline findings vs paper (seed {summary.seed})")
+    availability = summary.availability
+    comparison.add("MTBFr", paper.MTBF_FREEZE_HOURS,
+                   availability["mtbf_freeze_hours"], unit="h")
+    comparison.add("MTBS", paper.MTBS_HOURS,
+                   availability["mtbf_self_shutdown_hours"], unit="h")
+    comparison.add("failure interval", paper.FAILURE_INTERVAL_DAYS,
+                   availability["failure_interval_days"], unit="d")
+    comparison.add("KERN-EXEC 3 share", paper.ACCESS_VIOLATION_PERCENT,
+                   summary.panics["access_violation_percent"], unit="%")
+    comparison.add("heap (E32USER-CBase)", paper.HEAP_MANAGEMENT_PERCENT,
+                   summary.panics["heap_management_percent"], unit="%")
+    comparison.add("panics related to HL", paper.HL_RELATED_PERCENT,
+                   summary.hl["related_percent"], unit="%")
+    comparison.add("panics in cascades", paper.CASCADE_PANIC_PERCENT,
+                   summary.bursts["cascade_panic_percent"], unit="%")
+    comparison.add(
+        "self-shutdown fraction",
+        100.0 * paper.SELF_SHUTDOWN_FRACTION,
+        100.0 * summary.shutdowns["self_shutdown_fraction"],
+        unit="%",
+    )
+    return comparison

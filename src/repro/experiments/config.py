@@ -2,11 +2,25 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 
 from repro.core.clock import MONTH
 from repro.core.errors import ConfigError
 from repro.phone.fleet import FleetConfig
+
+
+def jsonify(value):
+    """Recursively coerce to JSON-native types: dataclasses become
+    dicts, dict keys become strings (``PanicId`` keys via their
+    ``str()``), tuples become lists.  Round-tripping the result
+    through ``json.dumps``/``loads`` is the identity."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: jsonify(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, dict):
+        return {str(key): jsonify(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    return value
 
 
 @dataclass
@@ -25,6 +39,11 @@ class CampaignConfig:
             raise ConfigError("campaign duration must be positive")
         if self.coalescence_window <= 0:
             raise ConfigError("coalescence window must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-native dump of every knob (fleet, logger, and fault
+        model included) — the identity of a campaign for caching."""
+        return jsonify(self)
 
     @classmethod
     def paper_scale(cls, seed: int = 2005) -> "CampaignConfig":

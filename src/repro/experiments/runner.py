@@ -1,0 +1,157 @@
+"""Parallel multi-seed campaign runner.
+
+Every multi-seed study used to loop :func:`run_campaign` serially at
+several seconds per paper-scale run.  :func:`run_campaigns` fans the
+runs out over a ``ProcessPoolExecutor`` instead:
+
+* results come back as picklable :class:`CampaignSummary` objects, in
+  **deterministic config order** regardless of completion order;
+* a failing worker surfaces as :class:`CampaignExecutionError` carrying
+  the failing config's seed and position;
+* ``workers=1`` (or an environment where process pools cannot start —
+  sandboxes, restricted interpreters) degrades gracefully to in-process
+  serial execution with identical results;
+* an optional :class:`~repro.experiments.cache.CampaignCache` makes
+  repeated sweeps free: cached configs are never dispatched at all.
+
+Determinism holds because each campaign derives every random stream
+from its own config's seed — worker scheduling cannot reorder anything
+inside a run, and the output list is ordered by input position.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import CampaignConfig
+from repro.experiments.summary import CampaignSummary
+
+
+class CampaignExecutionError(RuntimeError):
+    """A campaign run failed; carries which config it was."""
+
+    def __init__(self, index: int, seed: int, cause: str) -> None:
+        super().__init__(
+            f"campaign #{index} (seed {seed}) failed: {cause}"
+        )
+        self.index = index
+        self.seed = seed
+
+
+def summarize_campaign(config: CampaignConfig) -> CampaignSummary:
+    """Run one campaign and snapshot it — the unit of worker work.
+
+    Module-level (not a closure) so it pickles across the process
+    boundary regardless of start method.
+    """
+    return CampaignSummary.from_result(run_campaign(config))
+
+
+def run_campaigns(
+    configs: Sequence[CampaignConfig],
+    workers: int = 1,
+    cache: Optional[object] = None,
+    task: Callable[[CampaignConfig], CampaignSummary] = summarize_campaign,
+) -> List[CampaignSummary]:
+    """Run many campaigns, fanned out over ``workers`` processes.
+
+    Args:
+        configs: the campaigns to run; the result list matches this
+            order exactly.
+        workers: process count; ``1`` runs serially in-process.
+        cache: an object with ``get(config)``/``put(config, summary)``
+            (see :class:`~repro.experiments.cache.CampaignCache`);
+            hits skip execution entirely.
+        task: the per-config work function.  Must be picklable when
+            ``workers > 1``.
+
+    Raises:
+        CampaignExecutionError: when any run fails; ``.seed`` and
+            ``.index`` identify the failing config.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    configs = list(configs)
+    results: List[Optional[CampaignSummary]] = [None] * len(configs)
+
+    pending: List[int] = []
+    for index, config in enumerate(configs):
+        hit = cache.get(config) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append(index)
+
+    if pending:
+        remaining = pending
+        if workers > 1 and len(pending) > 1:
+            remaining = _run_pooled(configs, pending, results, workers, task)
+        for index in remaining:
+            results[index] = _run_one(task, configs, index)
+        if cache is not None:
+            for index in pending:
+                cache.put(configs[index], results[index])
+
+    return results  # type: ignore[return-value]
+
+
+def _run_one(
+    task: Callable[[CampaignConfig], CampaignSummary],
+    configs: Sequence[CampaignConfig],
+    index: int,
+) -> CampaignSummary:
+    try:
+        return task(configs[index])
+    except CampaignExecutionError:
+        raise
+    except Exception as exc:
+        raise CampaignExecutionError(index, configs[index].seed, repr(exc)) from exc
+
+
+def _run_pooled(
+    configs: Sequence[CampaignConfig],
+    pending: Sequence[int],
+    results: List[Optional[CampaignSummary]],
+    workers: int,
+    task: Callable[[CampaignConfig], CampaignSummary],
+) -> List[int]:
+    """Execute ``pending`` on a process pool, filling ``results``.
+
+    Returns the indices that still need a serial run: all of them when
+    the pool cannot start, the unfinished tail when it breaks mid-way.
+    Worker exceptions (other than pool breakage) are re-raised with the
+    failing seed attached.
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+    except Exception:
+        return list(pending)
+
+    leftover: List[int] = []
+    try:
+        futures = {index: executor.submit(task, configs[index]) for index in pending}
+        broken = False
+        for index in pending:
+            if broken:
+                leftover.append(index)
+                continue
+            try:
+                results[index] = futures[index].result()
+            except BrokenProcessPool:
+                # The pool died under us (a killed worker, a sandbox
+                # denying fork): finish the rest in-process.
+                broken = True
+                leftover.append(index)
+            except CampaignExecutionError:
+                raise
+            except Exception as exc:
+                raise CampaignExecutionError(
+                    index, configs[index].seed, repr(exc)
+                ) from exc
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return leftover

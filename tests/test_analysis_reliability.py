@@ -134,3 +134,28 @@ class TestOnRealCampaign:
             availability.freeze_count + availability.self_shutdown_count
         )
         assert rel["combined"].mean_hours == pytest.approx(pooled, rel=0.25)
+
+
+class TestDegenerateSamples:
+    def test_constant_sample_skips_weibull(self):
+        """Near-zero spread would hit scipy's catastrophic-cancellation
+        path inside weibull_min.fit; the guard returns no Weibull fit
+        (and with filterwarnings=error, a warning would fail this test)."""
+        stats = fit_reliability([10.0] * 100)
+        assert stats.weibull is None
+        assert stats.exponential is not None
+        assert stats.preferred_model == "insufficient data"
+        assert math.isnan(stats.weibull_shape)
+
+    def test_tiny_relative_spread_skips_weibull(self):
+        stats = fit_reliability([10.0] * 50 + [10.0 + 1e-12] * 50)
+        assert stats.weibull is None
+
+    def test_normal_sample_still_fits_weibull(self):
+        stats = fit_reliability(self.exponential_sample(10.0, n=200))
+        assert stats.weibull is not None
+
+    @staticmethod
+    def exponential_sample(mean, n):
+        stream = Stream(99)
+        return [stream.exponential(mean) for _ in range(n)]

@@ -166,3 +166,27 @@ class TestOnRealCampaign:
 
     def test_threshold_is_papers(self):
         assert SELF_SHUTDOWN_THRESHOLD == 360.0
+
+
+class TestHistogramEdges:
+    """Half-open bin convention: [lo, hi) for every bin."""
+
+    def test_duration_on_interior_edge_goes_to_upper_bin(self):
+        records = [boot(0.0, "NONE", 0.0), boot(1100.0, "REBOOT", 1000.0)]
+        hist = study_of(records).duration_histogram([0, 100, 1000])
+        assert [count for _lo, _hi, count in hist] == [0, 1]
+
+    def test_duration_on_last_edge_is_excluded(self):
+        records = [boot(0.0, "NONE", 0.0), boot(2000.0, "REBOOT", 1000.0)]
+        hist = study_of(records).duration_histogram([0, 100, 1000])
+        assert [count for _lo, _hi, count in hist] == [0, 0]
+
+    def test_duration_below_first_edge_is_excluded(self):
+        records = [boot(0.0, "NONE", 0.0), boot(1050.0, "REBOOT", 1000.0)]
+        hist = study_of(records).duration_histogram([100, 1000])
+        assert [count for _lo, _hi, count in hist] == [0]
+
+    def test_unsorted_edges_rejected(self):
+        study = study_of([boot(0.0, "NONE", 0.0)])
+        with pytest.raises(ValueError):
+            study.duration_histogram([100, 50, 200])

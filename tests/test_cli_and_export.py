@@ -103,6 +103,111 @@ class TestCli:
             main(["launch-rockets"])
 
 
+class TestAnalyzeFlags:
+    """`analyze` accepts the same rendering knobs as `campaign`, so an
+    exported-then-reanalyzed campaign reproduces the campaign report."""
+
+    CAMPAIGN = ["--phones", "2", "--months", "1", "--seed", "9"]
+
+    def test_analyze_headline_only(self, tmp_path, capsys):
+        export_dir = str(tmp_path / "logs")
+        assert main(["campaign", *self.CAMPAIGN, "--export", export_dir]) == 0
+        capsys.readouterr()
+        assert main(["analyze", export_dir, "--headline-only"]) == 0
+        out = capsys.readouterr().out
+        assert "Headline findings" in out
+        assert "Table 2" not in out
+
+    def test_analyze_extended(self, tmp_path, capsys):
+        export_dir = str(tmp_path / "logs")
+        assert main(["campaign", *self.CAMPAIGN, "--export", export_dir]) == 0
+        capsys.readouterr()
+        assert main(["analyze", export_dir, "--extended"]) == 0
+        assert "Downtime (extension)" in capsys.readouterr().out
+
+    def test_analyze_reproduces_campaign_report(self, tmp_path, capsys):
+        """Byte-identical reports from the live campaign and from its
+        exported logs (modulo the export trailer line)."""
+        export_dir = str(tmp_path / "logs")
+        end_time = str(int(1 * 2629800))
+        assert (
+            main(
+                [
+                    "campaign",
+                    *self.CAMPAIGN,
+                    "--export",
+                    export_dir,
+                ]
+            )
+            == 0
+        )
+        campaign_out = capsys.readouterr().out
+        campaign_report = campaign_out.split("\nexported ")[0]
+        assert main(["analyze", export_dir, "--end-time", end_time]) == 0
+        assert capsys.readouterr().out.rstrip("\n") == campaign_report.rstrip(
+            "\n"
+        )
+
+    def test_analyze_window_changes_coalescence(self, tmp_path, capsys):
+        export_dir = str(tmp_path / "logs")
+        assert main(["campaign", *self.CAMPAIGN, "--export", export_dir]) == 0
+        capsys.readouterr()
+        assert main(["analyze", export_dir, "--window", "1"]) == 0
+        narrow = capsys.readouterr().out
+        assert main(["analyze", export_dir, "--window", "86400"]) == 0
+        wide = capsys.readouterr().out
+        # A day-long coalescence window merges more low-level events per
+        # high-level failure than a zero-length one.
+        assert narrow != wide
+
+
+class TestSweepCommand:
+    def test_sweep_prints_per_seed_table(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--phones",
+                "2",
+                "--months",
+                "1",
+                "--seeds",
+                "5,6",
+                "--workers",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Seed" in out
+        assert " 5 " in out and " 6 " in out
+        assert "MTBFr" in out
+
+    def test_sweep_cache_roundtrip(self, tmp_path, capsys):
+        args = [
+            "sweep",
+            "--phones",
+            "2",
+            "--months",
+            "1",
+            "--seeds",
+            "5,6",
+            "--workers",
+            "1",
+            "--cache",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 hits, 2 misses" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "2 hits, 0 misses" in second
+
+    def test_sweep_rejects_bad_seeds(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--seeds", "5,banana"])
+
+
 class TestExtendedReport:
     def test_extended_render_includes_extension_sections(self, quick_campaign):
         text = quick_campaign.report.render_extended()

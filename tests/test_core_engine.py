@@ -173,3 +173,54 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestLazyCancellation:
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulator()
+        handles = [sim.schedule_after(float(i + 1), lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        # Compaction keeps dead entries from dominating: the heap can
+        # never hold more than ~2x the live events.
+        assert len(sim._heap) < 100
+        assert sim.pending_count() == 50
+
+    def test_small_heaps_are_not_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule_after(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert len(sim._heap) == 10
+        assert sim.pending_count() == 0
+        sim.run()
+        assert sim.events_fired == 0
+
+    def test_order_preserved_after_compaction(self):
+        sim = Simulator()
+        out = []
+        keep = [sim.schedule_at(float(t), out.append, t) for t in (5, 3, 8, 1)]
+        drop = [sim.schedule_after(100.0 + i, lambda: None) for i in range(100)]
+        for handle in drop:
+            handle.cancel()
+        del keep
+        sim.run()
+        assert out == [1, 3, 5, 8]
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        handle = sim.schedule_after(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # stale handle: must not corrupt the counter
+        assert sim.pending_count() == 0
+        sim.schedule_after(1.0, lambda: None)
+        assert sim.pending_count() == 1
+
+    def test_pending_count_tracks_mixed_traffic(self):
+        sim = Simulator()
+        handles = [sim.schedule_after(float(i + 1), lambda: None) for i in range(80)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending_count() == 40
+        sim.step()
+        assert sim.pending_count() == 39

@@ -17,6 +17,10 @@ EXAMPLES = [
     ("viewsrv_starvation.py", []),
     ("what_if_fixes.py", ["--phones", "2", "--months", "1"]),
     ("dependability_deep_dive.py", ["--phones", "3", "--months", "2"]),
+    (
+        "seed_sweep.py",
+        ["--phones", "2", "--months", "1", "--seeds", "5,6", "--workers", "2"],
+    ),
 ]
 
 
