@@ -1,0 +1,51 @@
+"""Perf smoke — the campaign pipeline must stay fast.
+
+Measures ``run_campaign`` at paper scale (25 phones x 14 months) with
+the perf harness, writes the fresh measurement to
+``BENCH_campaign.json`` (the CI perf-smoke job uploads it as an
+artifact), and fails when wall time regresses more than
+:data:`repro.experiments.perf.DEFAULT_REGRESSION_THRESHOLD` times the
+committed baseline.
+
+The output path can be redirected with ``BENCH_CAMPAIGN_OUT``; the
+committed baseline is read *before* the file is rewritten, so running
+this locally compares against the repository's reference numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.config import CampaignConfig
+from repro.experiments.perf import (
+    check_regression,
+    load_baseline,
+    measure_campaign,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COMMITTED_BASELINE = REPO_ROOT / "BENCH_campaign.json"
+
+
+def test_perf_smoke_campaign():
+    baseline = load_baseline(str(COMMITTED_BASELINE))
+
+    result = measure_campaign(
+        CampaignConfig.paper_scale(seed=2005), repeats=2
+    )
+    print()
+    print(result.render())
+
+    out_path = os.environ.get("BENCH_CAMPAIGN_OUT", "BENCH_campaign.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # The simulation itself must be deterministic regardless of speed.
+    assert result.events_fired == baseline["optimized"]["events_fired"]
+
+    ok, message = check_regression(result, baseline)
+    print(message)
+    assert ok, f"campaign pipeline regressed: {message}"

@@ -1,8 +1,11 @@
 """Ingestion: collected log lines -> per-phone record streams.
 
-The only door into the analysis.  Input is the mapping the collection
-server hands over (phone id -> raw lines); parsing is tolerant of the
-truncated lines a battery pull can leave behind.
+The only door into the analysis.  Input is what the collection server
+hands over — raw lines (the on-disk text contract) or record streams
+(the structured fast path, which skips the serialize→reparse round
+trip).  Text parsing is tolerant of the truncated lines a battery pull
+can leave behind; both doors produce identical datasets because writers
+quantize floats to wire precision at record construction.
 """
 
 from __future__ import annotations
@@ -21,6 +24,11 @@ from repro.core.records import (
     UserReportRecord,
 )
 from repro.logger.logfile import parse_lines
+
+#: Pipeline names accepted by :meth:`Dataset.from_collector`.
+PIPELINE_STRUCTURED = "structured"
+PIPELINE_TEXT = "text"
+PIPELINES = (PIPELINE_STRUCTURED, PIPELINE_TEXT)
 
 
 @dataclass
@@ -102,26 +110,52 @@ class Dataset:
         ``end_time`` defaults to the latest record timestamp seen
         anywhere (a lower bound on the campaign end).
         """
+        return cls.from_records(
+            {
+                phone_id: parse_lines(lines)
+                for phone_id, lines in lines_by_phone.items()
+            },
+            end_time=end_time,
+        )
+
+    @classmethod
+    def from_records(
+        cls,
+        records_by_phone: Mapping[str, Iterable],
+        end_time: Optional[float] = None,
+    ) -> "Dataset":
+        """Ingest already-parsed record streams (the structured door)."""
         logs: Dict[str, PhoneLog] = {}
+        # When end_time is known up front, skip tracking the latest
+        # timestamp — at paper scale that is millions of comparisons.
+        track_latest = end_time is None
         latest = 0.0
-        for phone_id in sorted(lines_by_phone):
+        for phone_id in sorted(records_by_phone):
             log = PhoneLog(phone_id)
-            for record in parse_lines(lines_by_phone[phone_id]):
-                latest = max(latest, record.time)
-                if isinstance(record, EnrollRecord):
+            sinks = {
+                BootRecord: log.boots.append,
+                PanicRecord: log.panics.append,
+                ActivityRecord: log.activities.append,
+                RunningAppsRecord: log.runapps.append,
+                PowerRecord: log.power.append,
+                UserReportRecord: log.user_reports.append,
+            }
+            get_sink = sinks.get
+            for record in records_by_phone[phone_id]:
+                if track_latest and record.time > latest:
+                    latest = record.time
+                sink = get_sink(type(record))
+                if sink is not None:
+                    sink(record)
+                elif isinstance(record, EnrollRecord):
                     log.enroll = record
-                elif isinstance(record, BootRecord):
-                    log.boots.append(record)
-                elif isinstance(record, PanicRecord):
-                    log.panics.append(record)
-                elif isinstance(record, ActivityRecord):
-                    log.activities.append(record)
-                elif isinstance(record, RunningAppsRecord):
-                    log.runapps.append(record)
-                elif isinstance(record, PowerRecord):
-                    log.power.append(record)
-                elif isinstance(record, UserReportRecord):
-                    log.user_reports.append(record)
+                else:
+                    # Subclass of a known stream type (exact-type
+                    # dispatch missed it) — route by isinstance.
+                    for base, sink in sinks.items():
+                        if isinstance(record, base):
+                            sink(record)
+                            break
             if log.record_count:
                 logs[phone_id] = log
         if not logs:
@@ -129,9 +163,26 @@ class Dataset:
         return cls(logs, end_time if end_time is not None else latest)
 
     @classmethod
-    def from_collector(cls, collector, end_time: Optional[float] = None) -> "Dataset":
-        """Ingest straight from a :class:`CollectionServer`."""
-        return cls.from_lines(collector.dataset(), end_time=end_time)
+    def from_collector(
+        cls,
+        collector,
+        end_time: Optional[float] = None,
+        pipeline: str = PIPELINE_STRUCTURED,
+    ) -> "Dataset":
+        """Ingest straight from a :class:`CollectionServer`.
+
+        ``pipeline`` selects the door: ``"structured"`` consumes the
+        collector's record objects directly; ``"text"`` serializes and
+        reparses every line, exercising the on-disk contract.  Both
+        produce identical datasets.
+        """
+        if pipeline == PIPELINE_STRUCTURED:
+            return cls.from_records(collector.record_dataset(), end_time=end_time)
+        if pipeline == PIPELINE_TEXT:
+            return cls.from_lines(collector.dataset(), end_time=end_time)
+        raise AnalysisError(
+            f"unknown pipeline {pipeline!r}; expected one of {PIPELINES}"
+        )
 
     # -- convenience views ----------------------------------------------------------
 

@@ -30,16 +30,22 @@ OUTCOME_SELF_SHUTDOWN = "self_shutdown"
 OUTCOME_NONE = "no_hl_event"
 
 
-def running_apps_at(log: PhoneLog, time: float) -> Tuple[str, ...]:
+def running_apps_at(
+    log: PhoneLog, time: float, _times: Optional[List[float]] = None
+) -> Tuple[str, ...]:
     """The latest RUNAPP snapshot strictly before ``time``.
 
     Strictly before, not at: a snapshot written at exactly the panic
     instant is the *consequence* of the panic (the kernel terminated
     the offending application, and the detector logged the shrunken
     set), not the state the panic happened in.
+
+    ``_times`` optionally supplies the precomputed snapshot-time list,
+    so callers that query one log repeatedly (one lookup per panic)
+    don't rebuild it every time.
     """
     snapshots = log.runapps
-    times = [snap.time for snap in snapshots]
+    times = _times if _times is not None else [snap.time for snap in snapshots]
     index = bisect.bisect_left(times, time) - 1
     if index < 0:
         return ()
@@ -110,9 +116,14 @@ def compute_running_apps(
     app_counts: Dict[str, int] = {}
     total = 0
 
+    times_by_phone: Dict[str, List[float]] = {}
     for phone_id, panic in dataset.all_panics():
         log = dataset.logs[phone_id]
-        apps = running_apps_at(log, panic.time)
+        times = times_by_phone.get(phone_id)
+        if times is None:
+            times = [snap.time for snap in log.runapps]
+            times_by_phone[phone_id] = times
+        apps = running_apps_at(log, panic.time, _times=times)
         total += 1
         count_hist[len(apps)] = count_hist.get(len(apps), 0) + 1
         outcome = outcome_by_panic.get(id(panic), OUTCOME_NONE)

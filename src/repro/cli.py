@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the whole study:
+Five subcommands cover the whole study:
 
 * ``campaign`` — simulate a deployment campaign, print the full report,
   optionally export the raw per-phone log files to a directory;
@@ -12,7 +12,10 @@ Four subcommands cover the whole study:
 * ``sweep``    — re-run the campaign across many seeds in parallel
   (the reproduction's robustness workhorse), with an optional on-disk
   summary cache;
-* ``forum``    — run the §4 web-forum study.
+* ``forum``    — run the §4 web-forum study;
+* ``perf``     — measure the campaign pipeline (wall time per stage,
+  events/second, optional cProfile table) and optionally check the
+  result against a committed baseline such as ``BENCH_campaign.json``.
 
 Usage::
 
@@ -20,16 +23,19 @@ Usage::
     python -m repro.cli analyze logs/ --window 300 --headline-only
     python -m repro.cli sweep --seeds 11,22,33 --workers 4 --cache .sweep/
     python -m repro.cli forum --noise 0.25
+    python -m repro.cli perf --repeats 3 --profile
+    python -m repro.cli perf --check-against BENCH_campaign.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.coalescence import DEFAULT_WINDOW
-from repro.analysis.ingest import Dataset
+from repro.analysis.ingest import PIPELINE_STRUCTURED, PIPELINES, Dataset
 from repro.analysis.report import build_report
 from repro.analysis.tables import render_table
 from repro.core.clock import MONTH
@@ -37,6 +43,12 @@ from repro.experiments.cache import CampaignCache
 from repro.experiments.campaign import run_campaign
 from repro.experiments.compare import headline_comparison
 from repro.experiments.config import CampaignConfig
+from repro.experiments.perf import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    check_regression,
+    load_baseline,
+    measure_campaign,
+)
 from repro.experiments.runner import run_campaigns
 from repro.forum.corpus import CorpusConfig
 from repro.forum.study import run_forum_study
@@ -69,6 +81,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--extended", action="store_true",
         help="append the extension analyses (downtime, reliability, "
         "variability, trends)",
+    )
+    campaign.add_argument(
+        "--pipeline", choices=PIPELINES, default=PIPELINE_STRUCTURED,
+        help="ingest door: 'structured' hands collected record objects "
+        "straight to the analysis; 'text' forces the serialize->reparse "
+        "round trip (results are identical)",
     )
 
     analyze = sub.add_parser(
@@ -120,12 +138,56 @@ def _build_parser() -> argparse.ArgumentParser:
     forum.add_argument("--reports", type=int, default=533)
     forum.add_argument("--seed", type=int, default=2003)
 
+    perf = sub.add_parser(
+        "perf", help="measure the campaign pipeline (wall time, events/s)"
+    )
+    perf.add_argument("--phones", type=int, default=25)
+    perf.add_argument("--months", type=float, default=14.0)
+    perf.add_argument("--seed", type=int, default=2005)
+    perf.add_argument(
+        "--pipeline", choices=PIPELINES, default=PIPELINE_STRUCTURED,
+        help="ingest door to measure (default: structured)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=1,
+        help="clean runs to take the best of (default: 1)",
+    )
+    perf.add_argument(
+        "--profile", action="store_true",
+        help="also run once under cProfile and include the hot-function "
+        "table (profiled time is reported separately from wall time)",
+    )
+    perf.add_argument(
+        "--profile-top", type=int, default=12,
+        help="rows in the cProfile table (default: 12)",
+    )
+    perf.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the measurement as JSON instead of text",
+    )
+    perf.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the measurement JSON here (e.g. "
+        "BENCH_campaign.json)",
+    )
+    perf.add_argument(
+        "--check-against", metavar="FILE", default=None,
+        help="compare against a committed baseline JSON; exit 1 when "
+        "slower than --threshold times the baseline",
+    )
+    perf.add_argument(
+        "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
+        help="regression factor for --check-against (default: 2.0)",
+    )
+
     return parser
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     fleet = FleetConfig(phone_count=args.phones, duration=args.months * MONTH)
-    result = run_campaign(CampaignConfig(fleet=fleet, seed=args.seed))
+    result = run_campaign(
+        CampaignConfig(fleet=fleet, seed=args.seed), pipeline=args.pipeline
+    )
     if args.headline_only:
         print(result.report.render_headline())
     elif args.extended:
@@ -226,6 +288,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        fleet=FleetConfig(
+            phone_count=args.phones, duration=args.months * MONTH
+        ),
+        seed=args.seed,
+    )
+    try:
+        result = measure_campaign(
+            config,
+            pipeline=args.pipeline,
+            repeats=args.repeats,
+            profile=args.profile,
+            profile_top=args.profile_top,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.check_against:
+        try:
+            baseline = load_baseline(args.check_against)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.check_against!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        ok, message = check_regression(
+            result, baseline, threshold=args.threshold
+        )
+        print(("OK: " if ok else "REGRESSION: ") + message)
+        if not ok:
+            return 1
+    return 0
+
+
 def _cmd_forum(args: argparse.Namespace) -> int:
     config = CorpusConfig(failure_reports=args.reports, noise_level=args.noise)
     result = run_forum_study(config, seed=args.seed)
@@ -246,6 +350,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "forum":
         return _cmd_forum(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

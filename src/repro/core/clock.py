@@ -37,6 +37,15 @@ class SimClock:
         """Current virtual time in seconds since the epoch."""
         return self._now
 
+    def read(self) -> float:
+        """The current time as a plain call.
+
+        Equivalent to :attr:`now`; exists so hot writers can hold the
+        bound method as a ``time_fn`` (one call) instead of wrapping
+        the property in a lambda (three).
+        """
+        return self._now
+
     def advance_to(self, t: float) -> None:
         """Move the clock forward to ``t``.
 

@@ -6,12 +6,19 @@ campaign, so event ordering is total: events are ordered by
 ``(time, priority, sequence)`` where the sequence number is assigned at
 scheduling time.  Two events scheduled for the same instant therefore
 fire in scheduling order unless a priority says otherwise.
+
+The heap stores ``(time, priority, seq, event)`` tuples rather than the
+event objects themselves: the sort key is computed once at scheduling
+time and every sift comparison is a C-level tuple comparison, instead
+of a Python ``__lt__`` call that builds two tuples per comparison.  The
+sequence number is unique, so a comparison never reaches the event
+object.  At paper scale this removes ~3M interpreted calls per run.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.clock import SimClock
 from repro.core.errors import SimulationError
@@ -67,6 +74,10 @@ class ScheduledEvent:
         return f"ScheduledEvent(t={self.time:.1f}, {name}, {state})"
 
 
+#: One heap entry: the precomputed total-order key plus the event.
+_HeapEntry = Tuple[float, int, int, ScheduledEvent]
+
+
 class Simulator:
     """Event loop over virtual time.
 
@@ -83,7 +94,7 @@ class Simulator:
 
     def __init__(self, start: float = 0.0) -> None:
         self.clock = SimClock(start)
-        self._heap: List[ScheduledEvent] = []
+        self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._events_fired = 0
         self._cancelled_count = 0
@@ -111,14 +122,16 @@ class Simulator:
         Raises:
             SimulationError: if ``time`` is before the current clock.
         """
+        time = float(time)
         if time < self.clock.now:
             raise SimulationError(
                 f"cannot schedule in the past: now={self.clock.now}, t={time}"
             )
-        event = ScheduledEvent(float(time), priority, self._seq, fn, args)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, priority, seq, fn, args)
         event._sim = self
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         return event
 
     def schedule_after(
@@ -131,43 +144,68 @@ class Simulator:
         """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self.clock.now + delay, fn, *args, priority=priority)
+        # Inlined schedule_at: now + a non-negative delay can never be
+        # in the past, so the guard there would be dead weight on a
+        # path that runs ~100k times per campaign.
+        time = self.clock._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, priority, seq, fn, args)
+        event._sim = self
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
         self._drop_cancelled()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def step(self) -> bool:
         """Fire the single next event.  Returns ``False`` when idle."""
         self._drop_cancelled()
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
+        time, _priority, _seq, event = heapq.heappop(self._heap)
         event._sim = None
-        self.clock.advance_to(event.time)
+        self.clock.advance_to(time)
         self._events_fired += 1
         event.fn(*event.args)
         return True
 
     def run_until(self, t: float) -> None:
-        """Fire every event with ``time <= t``, then advance the clock to ``t``."""
+        """Fire every event with ``time <= t``, then advance the clock to ``t``.
+
+        This is the simulation's innermost loop; the pop path is inlined
+        (no ``step``/``_drop_cancelled`` calls) because at paper scale it
+        executes a couple hundred thousand times per campaign.
+        """
         self._guard_reentry()
+        heap = self._heap  # _compact() rebuilds in place, alias stays valid
+        clock = self.clock
+        heappop = heapq.heappop
+        fired = 0  # folded into the counter on exit, even via exception
         try:
-            while True:
-                self._drop_cancelled()
-                if not self._heap or self._heap[0].time > t:
+            while heap:
+                entry = heap[0]
+                if entry[0] > t:
                     break
-                event = heapq.heappop(self._heap)
+                heappop(heap)
+                event = entry[3]
+                if event.cancelled:
+                    self._cancelled_count -= 1
+                    continue
                 event._sim = None
-                self.clock.advance_to(event.time)
-                self._events_fired += 1
+                # Inlined clock.advance_to: heap order guarantees the
+                # pop times are non-decreasing, so no backwards check.
+                clock._now = entry[0]
+                fired += 1
                 event.fn(*event.args)
         finally:
+            self._events_fired += fired
             self._running = False
-        self.clock.advance_to(t)
+        clock.advance_to(t)
 
     def run(self) -> None:
         """Fire events until the queue drains completely."""
@@ -202,15 +240,18 @@ class Simulator:
 
         Safe at any point between event firings: the event order is
         total — ``(time, priority, seq)`` — so a re-heapified queue
-        pops in exactly the same sequence.
+        pops in exactly the same sequence.  The rebuild mutates the
+        list in place so aliases held by a running ``run_until`` loop
+        stay valid.
         """
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap[:] = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_count = 0
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
             self._cancelled_count -= 1
 
     def __repr__(self) -> str:

@@ -18,6 +18,12 @@ Record inventory (mirrors the paper's logger files):
 * :class:`RunningAppsRecord` — the running-application set (Application
   Architecture Server), logged on change.
 * :class:`PowerRecord`    — battery state transition (System Agent).
+
+Records are value objects: equality and hashing are field-based, and
+nothing may mutate one after construction.  (They are ``slots``
+dataclasses without ``frozen`` — per-field ``object.__setattr__``
+enforcement roughly tripled construction cost on a path that builds
+hundreds of thousands of records per campaign.)
 """
 
 from __future__ import annotations
@@ -61,7 +67,26 @@ def _parse_float(value: str, context: str) -> float:
         raise LogFormatError(f"bad float {value!r} in {context}") from exc
 
 
-@dataclass(frozen=True)
+def wire_time(time: float) -> float:
+    """Quantize a timestamp to the wire precision (3 decimals).
+
+    The text format writes times as ``%.3f``, so a serialize→parse
+    round trip quantizes them.  Writers quantize at record-construction
+    time instead, which makes the stored record *equal* to its text
+    round trip — the invariant that lets the structured fast path hand
+    record objects straight to the analysis.  ``round(t, 3)`` and
+    ``float(f"{t:.3f}")`` agree for every finite campaign-range float
+    (both correctly round to the same 3-decimal value).
+    """
+    return round(time, 3)
+
+
+def wire_level(level: float) -> float:
+    """Quantize a battery level to the wire precision (4 decimals)."""
+    return round(level, 4)
+
+
+@dataclass(slots=True, unsafe_hash=True)
 class EnrollRecord:
     """Campaign-enrollment metadata, one per phone."""
 
@@ -87,7 +112,7 @@ class EnrollRecord:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class BootRecord:
     """Logger start-up entry: what the Panic Detector found at boot.
 
@@ -133,7 +158,7 @@ class BootRecord:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class PanicRecord:
     """A panic notification captured through the RDebug hook."""
 
@@ -163,7 +188,7 @@ class PanicRecord:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class ActivityRecord:
     """Start or end of a voice call / text message transaction."""
 
@@ -193,7 +218,7 @@ class ActivityRecord:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class RunningAppsRecord:
     """The set of user applications running at ``time``."""
 
@@ -214,7 +239,7 @@ class RunningAppsRecord:
         return cls(time=_parse_float(fields[0], "RUNAPP"), apps=apps)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class PowerRecord:
     """Battery state transition published by the System Agent."""
 
@@ -250,7 +275,7 @@ REPORT_UNSTABLE = "unstable_behavior"
 REPORT_KINDS = (REPORT_OUTPUT_FAILURE, REPORT_INPUT_FAILURE, REPORT_UNSTABLE)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class UserReportRecord:
     """A failure reported interactively by the user.
 

@@ -2,13 +2,21 @@
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.analysis.ingest import Dataset
+from repro.analysis.ingest import PIPELINE_STRUCTURED, PIPELINE_TEXT, Dataset
 from repro.analysis.report import ReproductionReport, build_report
 from repro.experiments.config import CampaignConfig
 from repro.phone.fleet import Fleet
+
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "PIPELINE_STRUCTURED",
+    "PIPELINE_TEXT",
+]
 
 
 @dataclass
@@ -26,15 +34,35 @@ class CampaignResult:
         return self.fleet.ground_truth()
 
 
-def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    pipeline: str = PIPELINE_STRUCTURED,
+) -> CampaignResult:
     """Run a full campaign and analyse its collected logs.
 
-    The analysis operates exclusively on the collection server's lines;
-    the fleet object is returned for ground-truth validation only.
+    The analysis operates exclusively on what the collection server
+    shipped; the fleet object is returned for ground-truth validation
+    only.  ``pipeline`` picks the ingest door ("structured" record
+    objects by default; "text" forces the serialize→reparse round
+    trip) — results are identical either way, so it is an execution
+    detail, not part of :class:`CampaignConfig`.
     """
     config = config if config is not None else CampaignConfig.paper_scale()
     fleet = Fleet(config.fleet, seed=config.seed)
-    fleet.run()
-    dataset = Dataset.from_collector(fleet.collector, end_time=config.fleet.duration)
-    report = build_report(dataset, window=config.coalescence_window)
+    # Suspend cyclic GC across the whole pipeline, not just the event
+    # loop (Fleet.run nests its own suspension, which is a no-op here):
+    # re-enabling between stages would trigger a generation-2 pass over
+    # the full campaign graph right in the middle of ingest.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        fleet.run()
+        dataset = Dataset.from_collector(
+            fleet.collector, end_time=config.fleet.duration, pipeline=pipeline
+        )
+        report = build_report(dataset, window=config.coalescence_window)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return CampaignResult(config=config, fleet=fleet, dataset=dataset, report=report)

@@ -18,6 +18,7 @@ from repro.core.records import (
     BEAT_REBOOT,
     EnrollRecord,
     UserReportRecord,
+    wire_time,
 )
 from repro.logger.heartbeat import (
     DEFAULT_PERIOD,
@@ -39,6 +40,9 @@ class LoggerConfig:
 
     heartbeat_period: float = DEFAULT_PERIOD
     heartbeat_mode: str = MODE_VIRTUAL
+    #: Skip the boot-time RUNAPPS snapshot when the running set is
+    #: unchanged since the last write (saves flash; Table 4 identical).
+    dedupe_runapps: bool = True
 
 
 class FailureDataLogger:
@@ -70,7 +74,8 @@ class FailureDataLogger:
             self.scheduler, storage, os_runtime.rdebug, beats
         )
         self.runapp_detector = RunningAppsDetector(
-            self.scheduler, storage, bus, os_runtime.apparch, lambda: sim.now
+            self.scheduler, storage, bus, os_runtime.apparch, sim.clock.read,
+            dedupe=config.dedupe_runapps,
         )
         self.log_engine = LogEngine(self.scheduler, storage, bus)
         self.power_manager = PowerManager(self.scheduler, storage, bus)
@@ -130,7 +135,7 @@ class FailureDataLogger:
         if not self.active:
             return False
         self.storage.append_record(
-            UserReportRecord(time=self.sim.now, kind=kind)
+            UserReportRecord(time=wire_time(self.sim.now), kind=kind)
         )
         return True
 

@@ -20,7 +20,7 @@ logger is deliberately stopped (MAOFF windows).
 
 from __future__ import annotations
 
-from repro.core.records import PanicRecord
+from repro.core.records import PanicRecord, wire_time
 from repro.logger.logfile import LogStorage
 from repro.symbian.kernel import PanicEvent
 
@@ -43,7 +43,7 @@ class DExcLogger:
     def _on_panic(self, event: PanicEvent) -> None:
         self.storage.append_record(
             PanicRecord(
-                time=event.time,
+                time=wire_time(event.time),
                 category=event.panic_id.category,
                 ptype=event.panic_id.ptype,
                 process=event.process_name,

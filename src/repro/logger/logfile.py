@@ -4,16 +4,29 @@ One record per line: ``TAG|field|field|...``.  The format is the
 contract between the on-phone logger and the offline analysis; the
 parser is corruption-tolerant because a battery pull can truncate the
 final line of a real log file.
+
+:class:`LogStorage` keeps what the logger wrote as *entries*: record
+objects for the common append path, raw strings for injected or
+truncated lines.  Text is materialized on demand (``lines()``), so the
+structured analysis fast path can consume the record objects directly
+— skipping the serialize→reparse round trip entirely — while the text
+format remains the on-disk contract for exports and corruption
+modelling.  Writers quantize float fields to wire precision at record
+construction (:func:`repro.core.records.wire_time`), which makes a
+stored record equal to its own text round trip.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.errors import LogFormatError
 from repro.core.records import record_from_fields
 
 FIELD_SEPARATOR = "|"
+
+#: A stored log entry: a record object, or a raw line (corruption).
+LogEntry = Union[object, str]
 
 
 def serialize_record(record) -> str:
@@ -30,6 +43,13 @@ def serialize_record(record) -> str:
                 f"field {field!r} of {record.TAG} contains a reserved character"
             )
     return FIELD_SEPARATOR.join([record.TAG, *fields])
+
+
+def serialize_entry(entry: LogEntry) -> str:
+    """Render one stored entry as its log line (raw lines pass through)."""
+    if isinstance(entry, str):
+        return entry
+    return serialize_record(entry)
 
 
 def parse_line(line: str):
@@ -63,47 +83,81 @@ def parse_lines(lines: Iterable[str], strict: bool = False) -> Iterator:
                 raise
 
 
+def entries_to_records(
+    entries: Iterable[LogEntry], strict: bool = False
+) -> Iterator:
+    """Yield records from stored entries.
+
+    Record entries pass through untouched (the structured fast path);
+    raw string entries go through the tolerant/strict parser exactly
+    like lines read back from disk.
+    """
+    for entry in entries:
+        if isinstance(entry, str):
+            if not entry.strip():
+                continue
+            try:
+                yield parse_line(entry)
+            except LogFormatError:
+                if strict:
+                    raise
+        else:
+            yield entry
+
+
 class LogStorage:
     """The phone's persistent log file (in-memory model of flash).
 
-    Survives reboots; the transfer service reads lines past a cursor so
-    repeated syncs ship only new data.
+    Survives reboots; the transfer service reads entries past a cursor
+    so repeated syncs ship only new data.
     """
+
+    __slots__ = ("phone_id", "_entries", "last_runapps")
 
     def __init__(self, phone_id: str = "") -> None:
         self.phone_id = phone_id
-        self._lines: List[str] = []
+        self._entries: List[LogEntry] = []
+        #: Last RUNAPP snapshot on flash, maintained by the Running
+        #: Applications Detector so the dedupe check survives reboots
+        #: (the detector is recreated every power cycle, flash is not).
+        self.last_runapps: Optional[Tuple[str, ...]] = None
 
     def append_record(self, record) -> None:
-        """Serialize and append one record."""
-        self._lines.append(serialize_record(record))
+        """Append one record (serialized lazily, on first text access)."""
+        self._entries.append(record)
 
     def append_raw(self, line: str) -> None:
         """Append a raw line (corruption-injection in tests)."""
-        self._lines.append(line)
+        self._entries.append(line)
 
     def truncate_tail(self, keep_chars: int = 10) -> None:
         """Model power loss mid-write: chop the final line short."""
-        if self._lines:
-            self._lines[-1] = self._lines[-1][:keep_chars]
+        if self._entries:
+            self._entries[-1] = serialize_entry(self._entries[-1])[:keep_chars]
 
     @property
     def line_count(self) -> int:
-        return len(self._lines)
+        return len(self._entries)
 
     def lines(self, start: int = 0) -> List[str]:
-        """Lines from index ``start`` onward."""
-        return self._lines[start:]
+        """Serialized lines from index ``start`` onward."""
+        return [serialize_entry(entry) for entry in self._entries[start:]]
+
+    def entries(self, start: int = 0) -> List[LogEntry]:
+        """Stored entries from index ``start`` onward (fast path)."""
+        return self._entries[start:]
 
     def records(self, strict: bool = False) -> List:
         """All parseable records, in write order."""
-        return list(parse_lines(self._lines, strict=strict))
+        return list(entries_to_records(self._entries, strict=strict))
 
     def last_record(self) -> Optional[object]:
         """The final parseable record, or ``None``."""
-        for line in reversed(self._lines):
+        for entry in reversed(self._entries):
+            if not isinstance(entry, str):
+                return entry
             try:
-                return parse_line(line)
+                return parse_line(entry)
             except LogFormatError:
                 continue
         return None

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque
 
-from repro.core.records import BootRecord, PanicRecord
+from repro.core.records import BootRecord, PanicRecord, wire_time
 from repro.logger.heartbeat import BeatsFile
 from repro.logger.logfile import LogStorage
 from repro.symbian.active import PRIORITY_HIGH, CActive, CActiveScheduler
@@ -46,7 +46,11 @@ class PanicDetector(CActive):
     def record_boot(self, time: float) -> BootRecord:
         """Write the boot entry: what the beats file says about last cycle."""
         kind, beat_time = self._beats.last_event()
-        record = BootRecord(time=time, last_beat_kind=kind, last_beat_time=beat_time)
+        record = BootRecord(
+            time=wire_time(time),
+            last_beat_kind=kind,
+            last_beat_time=wire_time(beat_time),
+        )
         self._storage.append_record(record)
         return record
 
@@ -57,7 +61,7 @@ class PanicDetector(CActive):
             event = self._queue.popleft()
             self._storage.append_record(
                 PanicRecord(
-                    time=event.time,
+                    time=wire_time(event.time),
                     category=event.panic_id.category,
                     ptype=event.panic_id.ptype,
                     process=event.process_name,

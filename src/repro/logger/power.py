@@ -7,7 +7,7 @@ State transitions come from the System Agent Server.
 
 from __future__ import annotations
 
-from repro.core.records import PowerRecord
+from repro.core.records import PowerRecord, wire_level, wire_time
 from repro.logger.ao_base import SubscribingAO
 from repro.logger.logfile import LogStorage
 from repro.symbian.active import PRIORITY_STANDARD, CActiveScheduler
@@ -26,5 +26,7 @@ class PowerManager(SubscribingAO):
         self.transitions_recorded = 0
 
     def handle_payload(self, time: float, level: float, state: str) -> None:
-        self._storage.append_record(PowerRecord(time=time, level=level, state=state))
+        self._storage.append_record(
+            PowerRecord(time=wire_time(time), level=wire_level(level), state=state)
+        )
         self.transitions_recorded += 1

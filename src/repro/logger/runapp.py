@@ -6,6 +6,15 @@ polled periodically; ours is change-driven (the server publishes every
 change), which records strictly more precise information in strictly
 fewer writes — the analysis only ever needs the running set *at panic
 time*, i.e. the latest snapshot before each panic.
+
+One duplication source remains: the boot-time snapshot repeats the
+previous cycle's final set whenever the running set survived the reboot
+unchanged.  With ``dedupe`` on (the default) those redundant snapshots
+are skipped — the flash keeps the last written set
+(:attr:`LogStorage.last_runapps`), so the check survives the detector
+being recreated every power cycle.  Skipping an identical snapshot can
+never change which set is "latest before a panic", so Table 4 is
+byte-identical either way.
 """
 
 from __future__ import annotations
@@ -27,25 +36,33 @@ class RunningAppsDetector(SubscribingAO):
         bus,
         apparch: AppArchServer,
         time_fn,
+        dedupe: bool = True,
     ) -> None:
         super().__init__(
             scheduler, bus, TOPIC_APPS_CHANGED, priority=PRIORITY_LOW,
             name="RunningAppsDetector",
         )
         self._storage = storage
+        self._append = storage.append_record  # bound once; hot path
         self._apparch = apparch
         self._time_fn = time_fn
+        self._dedupe = dedupe
         self.snapshots = 0
+        self.snapshots_skipped = 0
 
     def record_initial_snapshot(self) -> None:
         """Write the running set as of daemon start."""
-        self._write(self._apparch.running_apps())
+        self.handle_payload(self._apparch.running_apps())
 
     def handle_payload(self, apps: tuple) -> None:
-        self._write(apps)
-
-    def _write(self, apps: tuple) -> None:
-        self._storage.append_record(
-            RunningAppsRecord(time=self._time_fn(), apps=tuple(apps))
-        )
+        # This is the single hottest logger path (one call per
+        # running-set change), so the write logic lives right here
+        # rather than behind another forwarding call.
+        if self._dedupe and self._storage.last_runapps == apps:
+            self.snapshots_skipped += 1
+            return
+        # round(t, 3) is wire_time() inlined — this runs once per
+        # running-set change, the single hottest record path.
+        self._append(RunningAppsRecord(time=round(self._time_fn(), 3), apps=apps))
+        self._storage.last_runapps = apps
         self.snapshots += 1

@@ -3,8 +3,13 @@
 The paper mentions a software infrastructure for automated transfer of
 log files from the phones (detailed in [1], Ascione et al., ISORC'06).
 The model keeps a per-phone cursor so periodic syncs ship only new
-lines, and the analysis pipeline ingests from the collection server —
+entries, and the analysis pipeline ingests from the collection server —
 never from simulator internals.
+
+Entries ship in their stored form (record objects, or raw strings for
+corrupted lines).  ``record_dataset()`` hands record streams to the
+structured analysis fast path with zero serialization;  ``dataset()``
+and ``export_to_dir()`` materialize the text contract on demand.
 """
 
 from __future__ import annotations
@@ -12,46 +17,65 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Tuple
 
-from repro.logger.logfile import LogStorage
+from repro.logger.logfile import (
+    LogEntry,
+    LogStorage,
+    entries_to_records,
+    serialize_entry,
+)
 
 #: File extension used for exported per-phone log files.
 LOG_EXTENSION = ".log"
 
 
 class CollectionServer:
-    """Accumulates log lines shipped from the fleet."""
+    """Accumulates log entries shipped from the fleet."""
 
     def __init__(self) -> None:
-        self._lines: Dict[str, List[str]] = {}
+        self._entries: Dict[str, List[LogEntry]] = {}
         self._cursors: Dict[str, int] = {}
         self.syncs = 0
 
     def sync(self, storage: LogStorage) -> int:
-        """Ship lines written since the last sync; returns lines shipped."""
+        """Ship entries written since the last sync; returns how many."""
         phone_id = storage.phone_id
         cursor = self._cursors.get(phone_id, 0)
-        new_lines = storage.lines(cursor)
-        if new_lines:
-            self._lines.setdefault(phone_id, []).extend(new_lines)
-            self._cursors[phone_id] = cursor + len(new_lines)
+        new_entries = storage.entries(cursor)
+        if new_entries:
+            self._entries.setdefault(phone_id, []).extend(new_entries)
+            self._cursors[phone_id] = cursor + len(new_entries)
         self.syncs += 1
-        return len(new_lines)
+        return len(new_entries)
 
     def phone_ids(self) -> Tuple[str, ...]:
-        """Phones that have shipped at least one line, sorted."""
-        return tuple(sorted(self._lines))
+        """Phones that have shipped at least one entry, sorted."""
+        return tuple(sorted(self._entries))
 
     def lines_for(self, phone_id: str) -> List[str]:
         """All collected lines for one phone, in write order."""
-        return list(self._lines.get(phone_id, ()))
+        return [serialize_entry(entry) for entry in self._entries.get(phone_id, ())]
 
     def dataset(self) -> Dict[str, List[str]]:
-        """phone_id -> collected lines; the analysis pipeline's input."""
-        return {phone_id: list(lines) for phone_id, lines in self._lines.items()}
+        """phone_id -> collected lines; the text-pipeline input."""
+        return {
+            phone_id: [serialize_entry(entry) for entry in entries]
+            for phone_id, entries in self._entries.items()
+        }
+
+    def record_dataset(self) -> Dict[str, List[object]]:
+        """phone_id -> collected records; the structured-pipeline input.
+
+        Raw (corrupted) entries go through the tolerant parser, exactly
+        as the text pipeline would treat them after a disk round trip.
+        """
+        return {
+            phone_id: list(entries_to_records(entries))
+            for phone_id, entries in self._entries.items()
+        }
 
     @property
     def total_lines(self) -> int:
-        return sum(len(lines) for lines in self._lines.values())
+        return sum(len(entries) for entries in self._entries.values())
 
     # -- disk round trip ---------------------------------------------------------
 
@@ -60,17 +84,17 @@ class CollectionServer:
         number of files written.  This is the shape of the dataset a
         real campaign leaves on the analysis workstation."""
         os.makedirs(directory, exist_ok=True)
-        for phone_id, lines in self._lines.items():
+        for phone_id, entries in self._entries.items():
             path = os.path.join(directory, phone_id + LOG_EXTENSION)
             with open(path, "w", encoding="utf-8") as handle:
-                handle.write("\n".join(lines))
-                if lines:
+                for entry in entries:
+                    handle.write(serialize_entry(entry))
                     handle.write("\n")
-        return len(self._lines)
+        return len(self._entries)
 
     def __repr__(self) -> str:
         return (
-            f"CollectionServer(phones={len(self._lines)}, "
+            f"CollectionServer(phones={len(self._entries)}, "
             f"lines={self.total_lines})"
         )
 

@@ -32,6 +32,7 @@ from repro.core.records import (
     PHASE_END,
     PHASE_START,
     EnrollRecord,
+    wire_time,
 )
 from repro.logger.daemon import FailureDataLogger, LoggerConfig
 from repro.logger.heartbeat import BeatsFile
@@ -271,7 +272,8 @@ class SmartPhone:
     def open_app(self, app_id: str) -> Optional[Process]:
         """Launch a user application; returns its process (or the
         existing one if already running)."""
-        self._require_state(STATE_ON, "open_app")
+        if self.state != STATE_ON:  # fast guard; slow path formats the error
+            self._require_state(STATE_ON, "open_app")
         assert self.os is not None
         existing = self._app_procs.get(app_id)
         if existing is not None:
@@ -382,7 +384,7 @@ class SmartPhone:
         if not self._enrolled:
             self._enrolled = True
             enroll = EnrollRecord(
-                time=self.sim.now,
+                time=wire_time(self.sim.now),
                 phone_id=self.phone_id,
                 os_version=self.profile.os_version,
                 region=self.profile.region,
@@ -430,7 +432,9 @@ class SmartPhone:
             self.graceful_shutdown(SHUTDOWN_SELF)
 
     def _notify_activity(self, kind: str, phase: str, duration: float) -> None:
-        for listener in list(self.activity_listeners):
+        # No defensive copy: listeners register once at construction
+        # (fault model, tests) and never detach mid-notification.
+        for listener in self.activity_listeners:
             listener(kind, phase, duration)
 
     def _require_state(self, expected: str, op: str) -> None:

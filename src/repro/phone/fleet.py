@@ -8,6 +8,7 @@ shipping its log files to the collection server.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -131,13 +132,30 @@ class Fleet:
     # -- execution ------------------------------------------------------------------
 
     def run(self) -> None:
-        """Run the whole campaign and perform the final log transfer."""
+        """Run the whole campaign and perform the final log transfer.
+
+        The cyclic garbage collector is suspended for the duration of
+        the event loop: a paper-scale run allocates millions of
+        records, heap entries, and short-lived processes, and repeated
+        generation-2 passes over that growing object graph cost ~10% of
+        wall time while freeing almost nothing mid-run.  Collection
+        resumes afterwards and reclaims the campaign's cycles then.
+        """
         if not self._built:
             self.build()
         if self._ran:
             raise ValueError("campaign already ran")
         self._ran = True
-        self.sim.run_until(self.config.duration)
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.sim.run_until(self.config.duration)
+        finally:
+            if gc_was_enabled:
+                # Re-enable only; no forced collect — the next automatic
+                # pass reclaims the campaign's cycles outside the hot path.
+                gc.enable()
         self.sync_all()
 
     def _periodic_transfer(self) -> None:

@@ -29,6 +29,9 @@ from repro.phone.device import (
 
 #: Fraction of lingering-capable app sessions left open for hours.
 LINGER_PROB = 0.35
+#: Static sampling tables (the catalog never changes mid-campaign).
+_POPULARITY = popularity_weights()
+_BROWSE_APPS = [a for a in APP_CATALOG if a not in (TELEPHONE, MESSAGES)]
 #: Probability per day that the user briefly stops the logger (MAOFF).
 MAOFF_PROB_PER_DAY = 0.002
 #: Median reboot delay after a kernel-initiated self-shutdown (s); the
@@ -368,12 +371,10 @@ class UserModel:
         device = self.device
         if device.boot_count != boot_count or device.state != STATE_ON:
             return
-        app_id = self._stream.weighted_choice(popularity_weights())
+        app_id = self._stream.weighted_choice(_POPULARITY)
         if app_id in (TELEPHONE, MESSAGES):
             # Those come from calls/messages; browse something else.
-            app_id = self._stream.choice(
-                [a for a in APP_CATALOG if a not in (TELEPHONE, MESSAGES)]
-            )
+            app_id = self._stream.choice(_BROWSE_APPS)
         spec = APP_CATALOG[app_id]
         if device.app_process(app_id) is not None:
             return

@@ -16,11 +16,20 @@ The scheduler here is a real cooperative executor: completions signal
 it, ``run_one``/``run_until_idle`` dispatch the highest-priority ready
 AO, leaves route through the error protocol.  The failure-data logger
 (:mod:`repro.logger`) is built from these AOs, as in the paper.
+
+Dispatch is O(ready), not O(registered): the scheduler maintains a
+*ready list* incrementally — ``TRequestStatus.complete`` enlists its
+owner, ``mark_pending``/``Cancel``/dispatch delist it — so ``run_one``
+never scans the full AO registry (a quarter-million scans per paper
+campaign before this existed).  Selection order is unchanged: highest
+priority wins, ties break by registration order, and an empty ready
+list still falls back to the legacy full scan so externally-mutated
+state (tests crafting stray signals) behaves identically.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.symbian.errors import Leave, PanicRequest
 from repro.symbian.panics import E32USER_CBASE_46, E32USER_CBASE_47
@@ -69,18 +78,24 @@ class TRequestStatus:
         """Mark a request as issued (service side calls this)."""
         self._pending = True
         self.value = K_REQUEST_PENDING
+        owner = self._owner
+        if owner is not None and owner._in_ready:
+            owner.scheduler._unmark_ready(owner)
 
     def complete(self, code: int) -> None:
         """Complete the request with ``code`` and signal the scheduler."""
         self.value = code
         self._pending = False
-        scheduler = None
-        if self._owner is not None:
-            scheduler = self._owner.scheduler
-        if scheduler is None:
-            scheduler = self._scheduler
-        if scheduler is not None:
-            scheduler.signal()
+        owner = self._owner
+        if owner is not None:
+            scheduler = owner.scheduler
+            if scheduler is not None:
+                if owner.is_active and code != K_REQUEST_PENDING:
+                    scheduler._mark_ready(owner)
+                scheduler.signal()
+                return
+        if self._scheduler is not None:
+            self._scheduler.signal()
 
     def __repr__(self) -> str:
         state = "pending" if self._pending else f"value={self.value}"
@@ -104,8 +119,10 @@ class CActive:
         self.scheduler = scheduler
         self.priority = priority
         self.name = name or type(self).__name__
-        self.i_status = TRequestStatus(owner=self)
         self.is_active = False
+        self._in_ready = False
+        self._reg_order = -1
+        self.i_status = TRequestStatus(owner=self)
         scheduler.add(self)
 
     # -- protocol -------------------------------------------------------
@@ -113,12 +130,18 @@ class CActive:
     def set_active(self) -> None:
         """Declare an outstanding request (call after issuing it)."""
         self.is_active = True
+        if self.i_status.completed:
+            scheduler = self.scheduler
+            if scheduler is not None:
+                scheduler._mark_ready(self)
 
     def cancel(self) -> None:
         """Cancel any outstanding request (``Cancel`` semantics)."""
         if self.is_active:
             self.do_cancel()
             self.is_active = False
+            if self._in_ready:
+                self.scheduler._unmark_ready(self)
 
     def run_l(self) -> None:
         """Handle a completed request.  May leave."""
@@ -147,6 +170,9 @@ class CActiveScheduler:
     def __init__(self, name: str = "sched") -> None:
         self.name = name
         self._actives: List[CActive] = []
+        self._registered: Set[CActive] = set()
+        self._ready: List[CActive] = []
+        self._reg_counter = 0
         self._signals = 0
         self.dispatched = 0
 
@@ -154,13 +180,21 @@ class CActiveScheduler:
 
     def add(self, ao: CActive) -> None:
         """Register an active object with this scheduler."""
-        if ao not in self._actives:
+        if ao not in self._registered:
             self._actives.append(ao)
+            self._registered.add(ao)
+            ao._reg_order = self._reg_counter
+            self._reg_counter += 1
+            if ao.is_active and ao.i_status.completed:
+                self._mark_ready(ao)
 
     def remove(self, ao: CActive) -> None:
         """Deregister an active object."""
-        if ao in self._actives:
+        if ao in self._registered:
             self._actives.remove(ao)
+            self._registered.discard(ao)
+            if ao._in_ready:
+                self._unmark_ready(ao)
 
     # -- signalling --------------------------------------------------------
 
@@ -192,6 +226,8 @@ class CActiveScheduler:
                 E32USER_CBASE_46, f"stray signal in scheduler {self.name!r}"
             )
         ao.is_active = False
+        if ao._in_ready:
+            self._unmark_ready(ao)
         self.dispatched += 1
         try:
             ao.run_l()
@@ -225,9 +261,38 @@ class CActiveScheduler:
             E32USER_CBASE_47, f"unhandled leave {code}{where} reached Error()"
         )
 
+    # -- ready bookkeeping ---------------------------------------------------
+
+    def _mark_ready(self, ao: CActive) -> None:
+        """Enlist an AO whose request completed while it was active."""
+        if not ao._in_ready and ao in self._registered:
+            ao._in_ready = True
+            self._ready.append(ao)
+
+    def _unmark_ready(self, ao: CActive) -> None:
+        """Delist an AO that is no longer active+completed."""
+        if ao._in_ready:
+            ao._in_ready = False
+            self._ready.remove(ao)
+
     def _find_ready(self) -> Optional[CActive]:
-        """Highest-priority active object with a completed request."""
+        """Highest-priority active object with a completed request.
+
+        Ties break by registration order, exactly like the legacy full
+        scan (``_reg_order`` mirrors the position in ``_actives``).
+        """
         best: Optional[CActive] = None
+        for ao in self._ready:
+            if (
+                best is None
+                or ao.priority > best.priority
+                or (ao.priority == best.priority and ao._reg_order < best._reg_order)
+            ):
+                best = ao
+        if best is not None:
+            return best
+        # Legacy fallback: state mutated outside the AO protocol (tests
+        # crafting strays, hand-rolled statuses) is still honoured.
         for ao in self._actives:
             if ao.is_active and ao.i_status.completed:
                 if best is None or ao.priority > best.priority:

@@ -41,7 +41,7 @@ TOPIC_PANIC = "kernel.panic"
 TOPIC_REBOOT_REQUEST = "kernel.reboot_request"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class PanicEvent:
     """A panic as observed by the kernel (and notified to RDebug)."""
 
@@ -54,6 +54,8 @@ class PanicEvent:
 class Thread:
     """A kernel thread.  Scheduling detail is out of scope; identity and
     liveness are what the failure study needs."""
+
+    __slots__ = ("name", "process", "alive")
 
     def __init__(self, name: str, process: "Process") -> None:
         self.name = name
@@ -70,7 +72,26 @@ class Process:
 
     ``critical=True`` marks core system processes (Phone.app host,
     message server) whose death forces a device reboot.
+
+    The memory substrate (address space, heap, object index, cleanup
+    stack) materializes on first access: a paper-scale campaign creates
+    ~90k short-lived application processes and only the few hundred
+    that a fault targets ever touch their heap, so eager construction
+    was pure overhead on the hottest device path (``open_app``).
     """
+
+    __slots__ = (
+        "name",
+        "kernel",
+        "critical",
+        "alive",
+        "heap_words",
+        "_space",
+        "_heap",
+        "_object_index",
+        "_cleanup",
+        "_threads",
+    )
 
     def __init__(
         self,
@@ -83,11 +104,49 @@ class Process:
         self.kernel = kernel
         self.critical = critical
         self.alive = True
-        self.space = AddressSpace(name)
-        self.heap = RHeap(self.space, max_words=heap_words, name=f"{name}.heap")
-        self.object_index = ObjectIndex(name)
-        self.cleanup = CTrapCleanup()
-        self.threads: List[Thread] = [Thread(f"{name}::main", self)]
+        self.heap_words = heap_words
+        self._space: Optional[AddressSpace] = None
+        self._heap: Optional[RHeap] = None
+        self._object_index: Optional[ObjectIndex] = None
+        self._cleanup: Optional[CTrapCleanup] = None
+        self._threads: Optional[List[Thread]] = None
+
+    @property
+    def threads(self) -> List[Thread]:
+        """Thread list; the main thread materializes on first access
+        (mirroring current liveness), like the memory substrate."""
+        threads = self._threads
+        if threads is None:
+            main = Thread(f"{self.name}::main", self)
+            main.alive = self.alive
+            threads = self._threads = [main]
+        return threads
+
+    @property
+    def space(self) -> AddressSpace:
+        if self._space is None:
+            self._space = AddressSpace(self.name)
+        return self._space
+
+    @property
+    def heap(self) -> RHeap:
+        if self._heap is None:
+            self._heap = RHeap(
+                self.space, max_words=self.heap_words, name=f"{self.name}.heap"
+            )
+        return self._heap
+
+    @property
+    def object_index(self) -> ObjectIndex:
+        if self._object_index is None:
+            self._object_index = ObjectIndex(self.name)
+        return self._object_index
+
+    @property
+    def cleanup(self) -> CTrapCleanup:
+        if self._cleanup is None:
+            self._cleanup = CTrapCleanup()
+        return self._cleanup
 
     @property
     def main_thread(self) -> Thread:
@@ -139,8 +198,9 @@ class KernelExecutive:
     def terminate_process(self, process: Process) -> None:
         """Kill a process (graceful, no panic)."""
         process.alive = False
-        for thread in process.threads:
-            thread.alive = False
+        if process._threads is not None:
+            for thread in process._threads:
+                thread.alive = False
         self._processes.pop(process.name, None)
 
     # -- execution / fault translation ------------------------------------

@@ -66,4 +66,4 @@ class AppArchServer(Server):
         message.args[0].extend(self._running)  # caller passes a list buffer
 
     def _publish(self) -> None:
-        self.bus.publish(TOPIC_APPS_CHANGED, self.running_apps())
+        self.bus.publish(TOPIC_APPS_CHANGED, tuple(self._running))

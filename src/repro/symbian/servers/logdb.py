@@ -24,7 +24,7 @@ TOPIC_LOG_EVENT = "logdb.event"
 DEFAULT_CAPACITY = 512
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class LogEvent:
     """One call/message transition in the log database."""
 

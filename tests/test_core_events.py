@@ -89,3 +89,66 @@ class TestReentrancy:
         assert got == ["first"]
         bus.publish("t")
         assert got == ["first", "first", "late"]
+
+    def test_cancel_during_publish_still_delivers_current_event(self):
+        # Snapshot semantics: the delivery set is fixed when the publish
+        # starts, so a handler cancelled mid-flight by an earlier
+        # handler still receives the in-progress event — but nothing
+        # after it.
+        bus = EventBus()
+        got = []
+        victim = bus.subscribe("t", lambda: got.append("victim"))
+        bus.subscribe("t", lambda: (victim.cancel(), got.append("canceller")))
+        bus.subscribe("t", lambda: got.append("victim2"))
+        # Subscription order: victim fires first, then the canceller.
+        bus.publish("t")
+        assert got == ["victim", "canceller", "victim2"]
+        bus.publish("t")
+        assert got == ["victim", "canceller", "victim2", "canceller", "victim2"]
+
+    def test_cancel_of_later_handler_during_publish(self):
+        # The cancelled handler sits *after* the canceller in the
+        # snapshot, and still gets the current event.
+        bus = EventBus()
+        got = []
+        subs = {}
+        bus.subscribe("t", lambda: (subs["late"].cancel(), got.append("first")))
+        subs["late"] = bus.subscribe("t", lambda: got.append("late"))
+        bus.publish("t")
+        assert got == ["first", "late"]
+        bus.publish("t")
+        assert got == ["first", "late", "first"]
+
+    def test_self_cancel_during_publish(self):
+        bus = EventBus()
+        got = []
+        subs = {}
+        subs["once"] = bus.subscribe(
+            "t", lambda: (subs["once"].cancel(), got.append("once"))
+        )
+        bus.publish("t")
+        bus.publish("t")
+        assert got == ["once"]
+
+    def test_nested_publish_sees_current_tables(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("inner", lambda: got.append("inner"))
+        bus.subscribe("outer", lambda: bus.publish("inner"))
+        bus.subscribe("outer", lambda: got.append("outer"))
+        bus.publish("outer")
+        assert got == ["inner", "outer"]
+
+
+class TestChurnScaling:
+    def test_many_cancels_stay_fast(self):
+        # Removal is keyed by the subscription handle (O(1) dict
+        # delete), so subscribe/cancel churn — one subscription per AO
+        # per power cycle in the simulator — must not scan the table.
+        bus = EventBus()
+        subs = [bus.subscribe("t", lambda: None) for _ in range(2000)]
+        for sub in subs[:-1]:
+            sub.cancel()
+        assert bus.handler_count("t") == 1
+        subs[-1].cancel()
+        assert bus.handler_count("t") == 0
