@@ -14,7 +14,10 @@ The package is organized along the paper's own structure:
 * :mod:`repro.analysis` — the offline pipeline that regenerates every
   table and figure of §6 from raw logs;
 * :mod:`repro.experiments` — campaign orchestration and the paper's
-  published numbers for comparison.
+  published numbers for comparison;
+* :mod:`repro.robustness` — seeded fault injection for the collection
+  path itself, and the degradation-curve experiment that certifies the
+  pipeline degrades gracefully.
 
 Quickstart::
 

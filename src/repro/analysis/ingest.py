@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.errors import AnalysisError
 from repro.core.records import (
+    RECORD_TAGS,
     ActivityRecord,
     BootRecord,
     EnrollRecord,
@@ -23,12 +24,74 @@ from repro.core.records import (
     RunningAppsRecord,
     UserReportRecord,
 )
-from repro.logger.logfile import parse_lines
+from repro.logger.logfile import FIELD_SEPARATOR, parse_lines
 
 #: Pipeline names accepted by :meth:`Dataset.from_collector`.
 PIPELINE_STRUCTURED = "structured"
 PIPELINE_TEXT = "text"
 PIPELINES = (PIPELINE_STRUCTURED, PIPELINE_TEXT)
+
+#: Corruption classes an unparseable line is filed under.
+CORRUPTION_UNKNOWN_TAG = "unknown-tag"
+CORRUPTION_FIELD_COUNT = "field-count"
+CORRUPTION_BAD_VALUE = "bad-value"
+
+#: Quarantined example lines kept verbatim per report.
+MAX_QUARANTINE_SAMPLES = 10
+
+
+def classify_malformed(line: str, error: Exception) -> str:
+    """File one unparseable line under a corruption class.
+
+    ``unknown-tag`` — the tag itself is gone (garbled, or the line was
+    cut before the first separator); ``field-count`` — a known tag with
+    the wrong number of fields (the truncated-tail signature);
+    ``bad-value`` — the right shape but an uninterpretable field (a
+    garbled byte inside a value).
+    """
+    tag = line.strip().partition(FIELD_SEPARATOR)[0]
+    if tag not in RECORD_TAGS:
+        return CORRUPTION_UNKNOWN_TAG
+    if "expects" in str(error):
+        return CORRUPTION_FIELD_COUNT
+    return CORRUPTION_BAD_VALUE
+
+
+@dataclass
+class IngestReport:
+    """Structured account of every line the tolerant parser rejected.
+
+    The parser has always *skipped* malformed lines (a battery pull
+    truncates real logs); this report makes the skips visible — counts
+    by corruption class and by phone, plus a few verbatim samples — so
+    tolerance is never silent data loss.
+    """
+
+    quarantined: int = 0
+    by_class: Dict[str, int] = field(default_factory=dict)
+    by_phone: Dict[str, int] = field(default_factory=dict)
+    samples: List[str] = field(default_factory=list)
+
+    def quarantine(self, phone_id: str, line: str, error: Exception) -> None:
+        """Record one rejected line."""
+        self.quarantined += 1
+        cls = classify_malformed(line, error)
+        self.by_class[cls] = self.by_class.get(cls, 0) + 1
+        self.by_phone[phone_id] = self.by_phone.get(phone_id, 0) + 1
+        if len(self.samples) < MAX_QUARANTINE_SAMPLES:
+            self.samples.append(line)
+
+    @property
+    def clean(self) -> bool:
+        return self.quarantined == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "quarantined": self.quarantined,
+            "by_class": dict(sorted(self.by_class.items())),
+            "by_phone": dict(sorted(self.by_phone.items())),
+            "samples": list(self.samples),
+        }
 
 
 @dataclass
@@ -91,11 +154,21 @@ class PhoneLog:
 class Dataset:
     """All phones' parsed logs plus the campaign observation window."""
 
-    def __init__(self, logs: Dict[str, PhoneLog], end_time: float) -> None:
+    def __init__(
+        self,
+        logs: Dict[str, PhoneLog],
+        end_time: float,
+        ingest_report: Optional[IngestReport] = None,
+    ) -> None:
         if end_time <= 0:
             raise AnalysisError(f"end_time must be positive, got {end_time}")
         self.logs = logs
         self.end_time = end_time
+        #: Quarantine accounting from ingestion (empty when the input
+        #: parsed cleanly or records arrived pre-parsed).
+        self.ingest_report = (
+            ingest_report if ingest_report is not None else IngestReport()
+        )
 
     # -- constructors -----------------------------------------------------------
 
@@ -108,14 +181,22 @@ class Dataset:
         """Parse raw collected lines.
 
         ``end_time`` defaults to the latest record timestamp seen
-        anywhere (a lower bound on the campaign end).
+        anywhere (a lower bound on the campaign end).  Lines the
+        tolerant parser rejects are quarantined into the dataset's
+        :class:`IngestReport`, never silently dropped.
         """
+        report = IngestReport()
+
+        def hook(phone_id: str):
+            return lambda line, exc: report.quarantine(phone_id, line, exc)
+
         return cls.from_records(
             {
-                phone_id: parse_lines(lines)
+                phone_id: parse_lines(lines, on_error=hook(phone_id))
                 for phone_id, lines in lines_by_phone.items()
             },
             end_time=end_time,
+            ingest_report=report,
         )
 
     @classmethod
@@ -123,6 +204,7 @@ class Dataset:
         cls,
         records_by_phone: Mapping[str, Iterable],
         end_time: Optional[float] = None,
+        ingest_report: Optional[IngestReport] = None,
     ) -> "Dataset":
         """Ingest already-parsed record streams (the structured door)."""
         logs: Dict[str, PhoneLog] = {}
@@ -160,7 +242,11 @@ class Dataset:
                 logs[phone_id] = log
         if not logs:
             raise AnalysisError("dataset contains no parseable records")
-        return cls(logs, end_time if end_time is not None else latest)
+        return cls(
+            logs,
+            end_time if end_time is not None else latest,
+            ingest_report=ingest_report,
+        )
 
     @classmethod
     def from_collector(
@@ -174,10 +260,16 @@ class Dataset:
         ``pipeline`` selects the door: ``"structured"`` consumes the
         collector's record objects directly; ``"text"`` serializes and
         reparses every line, exercising the on-disk contract.  Both
-        produce identical datasets.
+        produce identical datasets, including identical quarantine
+        accounting for corrupted entries.
         """
         if pipeline == PIPELINE_STRUCTURED:
-            return cls.from_records(collector.record_dataset(), end_time=end_time)
+            report = IngestReport()
+            return cls.from_records(
+                collector.record_dataset(on_error=report.quarantine),
+                end_time=end_time,
+                ingest_report=report,
+            )
         if pipeline == PIPELINE_TEXT:
             return cls.from_lines(collector.dataset(), end_time=end_time)
         raise AnalysisError(

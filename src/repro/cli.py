@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the whole study:
+Six subcommands cover the whole study:
 
 * ``campaign`` — simulate a deployment campaign, print the full report,
   optionally export the raw per-phone log files to a directory;
@@ -15,7 +15,11 @@ Five subcommands cover the whole study:
 * ``forum``    — run the §4 web-forum study;
 * ``perf``     — measure the campaign pipeline (wall time per stage,
   events/second, optional cProfile table) and optionally check the
-  result against a committed baseline such as ``BENCH_campaign.json``.
+  result against a committed baseline such as ``BENCH_campaign.json``;
+* ``faults``   — inject faults into the collection path (storage,
+  transfer, worker, cache layers) at swept intensities and report how
+  far the headline figures drift — the degradation-curve experiment
+  that certifies the pipeline degrades gracefully.
 
 Usage::
 
@@ -25,6 +29,8 @@ Usage::
     python -m repro.cli forum --noise 0.25
     python -m repro.cli perf --repeats 3 --profile
     python -m repro.cli perf --check-against BENCH_campaign.json
+    python -m repro.cli faults --intensities 0.5,1,2 --output robustness.json
+    python -m repro.cli faults --max-drift 5 --gate-intensity 1 --resilience
 """
 
 from __future__ import annotations
@@ -54,6 +60,12 @@ from repro.forum.corpus import CorpusConfig
 from repro.forum.study import run_forum_study
 from repro.logger.transfer import load_lines_from_dir
 from repro.phone.fleet import FleetConfig
+from repro.robustness.experiment import (
+    DEFAULT_INTENSITIES,
+    run_degradation_experiment,
+    run_resilience_probe,
+)
+from repro.robustness.plan import FaultPlan
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -178,6 +190,55 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
         help="regression factor for --check-against (default: 2.0)",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection degradation curve for the collection path",
+    )
+    faults.add_argument("--phones", type=int, default=6)
+    faults.add_argument("--months", type=float, default=2.0)
+    faults.add_argument("--seed", type=int, default=2005)
+    faults.add_argument(
+        "--plan-seed", type=int, default=777,
+        help="seed for the fault plan's own random streams (default: 777)",
+    )
+    faults.add_argument(
+        "--preset", choices=("mild", "harsh"), default="mild",
+        help="base fault plan scaled by each intensity (default: mild)",
+    )
+    faults.add_argument(
+        "--intensities",
+        default=",".join(f"{x:g}" for x in DEFAULT_INTENSITIES),
+        help="comma-separated intensity multipliers applied to the "
+        "preset (default: 0.25,0.5,1,2)",
+    )
+    faults.add_argument(
+        "--pipeline", choices=PIPELINES, default=PIPELINE_STRUCTURED,
+        help="ingest door for every run (default: structured)",
+    )
+    faults.add_argument(
+        "--resilience", action="store_true",
+        help="also probe the sweep runner: worker crash/hang healing "
+        "via retries and cache corruption eviction",
+    )
+    faults.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the robustness report as JSON instead of text",
+    )
+    faults.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the robustness report JSON here",
+    )
+    faults.add_argument(
+        "--max-drift", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) when the worst headline drift at or below "
+        "--gate-intensity exceeds this many percent",
+    )
+    faults.add_argument(
+        "--gate-intensity", type=float, default=1.0, metavar="X",
+        help="highest intensity the --max-drift gate inspects "
+        "(default: 1.0)",
     )
 
     return parser
@@ -330,6 +391,56 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_intensities(text: str) -> List[float]:
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"invalid --intensities value: {text!r}")
+    if not values or any(value <= 0 for value in values):
+        raise SystemExit("intensities must be positive numbers")
+    return values
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        fleet=FleetConfig(
+            phone_count=args.phones, duration=args.months * MONTH
+        ),
+        seed=args.seed,
+    )
+    preset = FaultPlan.mild if args.preset == "mild" else FaultPlan.harsh
+    base_plan = preset(seed=args.plan_seed)
+    intensities = _parse_intensities(args.intensities)
+    report = run_degradation_experiment(
+        config,
+        base_plan=base_plan,
+        intensities=intensities,
+        pipeline=args.pipeline,
+    )
+    if args.resilience:
+        report.resilience = run_resilience_probe(config, base_plan)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.max_drift is not None:
+        worst = report.worst_drift_at(args.gate_intensity)
+        gate = (
+            f"worst drift {worst:.2f}% at intensity <= "
+            f"{args.gate_intensity:g} (limit {args.max_drift:g}%)"
+        )
+        if worst > args.max_drift:
+            print("DEGRADED: " + gate)
+            return 1
+        print("OK: " + gate)
+    return 0
+
+
 def _cmd_forum(args: argparse.Namespace) -> int:
     config = CorpusConfig(failure_reports=args.reports, noise_level=args.noise)
     result = run_forum_study(config, seed=args.seed)
@@ -352,6 +463,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_forum(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -3,7 +3,9 @@
 * :mod:`config`   — the campaign configuration (25 phones, 14 months).
 * :mod:`campaign` — run fleet -> collect -> analyse in one call.
 * :mod:`summary`  — :class:`CampaignSummary`, the serializable snapshot.
-* :mod:`runner`   — :func:`run_campaigns`, the parallel multi-seed runner.
+* :mod:`runner`   — :func:`run_campaigns`, the parallel multi-seed
+  runner, plus :func:`run_campaigns_resilient` and its
+  :class:`SweepManifest` of partial results and structured failures.
 * :mod:`cache`    — the on-disk summary cache for repeated sweeps.
 * :mod:`paper`    — the paper's published numbers, as data.
 * :mod:`compare`  — paper-vs-measured comparison tables.
@@ -19,20 +21,32 @@ from repro.experiments.compare import (
 from repro.experiments.config import CampaignConfig
 from repro.experiments.runner import (
     CampaignExecutionError,
+    CampaignFailure,
+    SweepManifest,
     run_campaigns,
+    run_campaigns_resilient,
     summarize_campaign,
 )
-from repro.experiments.summary import CampaignSummary
+from repro.experiments.summary import (
+    HEADLINE_KEYS,
+    CampaignSummary,
+    headline_figures,
+)
 
 __all__ = [
     "CampaignCache",
     "CampaignConfig",
     "CampaignExecutionError",
+    "CampaignFailure",
     "CampaignResult",
     "CampaignSummary",
+    "HEADLINE_KEYS",
+    "SweepManifest",
     "campaign_cache_key",
+    "headline_figures",
     "run_campaign",
     "run_campaigns",
+    "run_campaigns_resilient",
     "summarize_campaign",
     "Comparison",
     "ComparisonRow",

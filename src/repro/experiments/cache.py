@@ -9,9 +9,12 @@ one JSON file per campaign:
     <dir>/<sha256-prefix>.json
         {"key": ..., "format_version": ..., "summary": {...}}
 
-Anything unreadable — truncated writes, a foreign file, an entry from
-an older format version — is treated as a miss and silently
-recomputed; ``put`` overwrites it atomically (temp file + rename).
+Anything unreadable — truncated writes, garbled bytes, a foreign file,
+an entry from an older format version — is treated as a miss: the bad
+file is **evicted** on the spot (so it cannot shadow the recomputed
+entry or fail again next sweep) and ``put`` rewrites it atomically
+(temp file + rename).  ``evictions`` counts how often that self-repair
+fired.
 """
 
 from __future__ import annotations
@@ -51,27 +54,47 @@ class CampaignCache:
         os.makedirs(self.directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def path_for(self, config: CampaignConfig) -> str:
         return os.path.join(self.directory, campaign_cache_key(config) + ".json")
 
     def get(self, config: CampaignConfig) -> Optional[CampaignSummary]:
-        """The cached summary for ``config``, or ``None`` on a miss."""
+        """The cached summary for ``config``, or ``None`` on a miss.
+
+        A file that exists but cannot be trusted — corrupt or truncated
+        JSON, a key or format-version mismatch, a summary that does not
+        deserialize — is evicted before the miss is reported, so the
+        recomputed entry lands in a clean slot.
+        """
         key = campaign_cache_key(config)
         path = os.path.join(self.directory, key + ".json")
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
             if entry.get("key") != key:
                 raise ValueError("key mismatch")
             if entry.get("format_version") != SUMMARY_FORMAT_VERSION:
                 raise ValueError("format version mismatch")
             summary = CampaignSummary.from_dict(entry["summary"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, ValueError, KeyError, TypeError):
+            self._evict(path)
             self.misses += 1
             return None
         self.hits += 1
         return summary
+
+    def _evict(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+        self.evictions += 1
 
     def put(self, config: CampaignConfig, summary: CampaignSummary) -> str:
         """Store ``summary`` under ``config``'s key; returns the path."""

@@ -37,6 +37,7 @@ class CampaignResult:
 def run_campaign(
     config: Optional[CampaignConfig] = None,
     pipeline: str = PIPELINE_STRUCTURED,
+    collector: Optional[object] = None,
 ) -> CampaignResult:
     """Run a full campaign and analyse its collected logs.
 
@@ -45,10 +46,13 @@ def run_campaign(
     only.  ``pipeline`` picks the ingest door ("structured" record
     objects by default; "text" forces the serialize→reparse round
     trip) — results are identical either way, so it is an execution
-    detail, not part of :class:`CampaignConfig`.
+    detail, not part of :class:`CampaignConfig`.  ``collector``
+    substitutes the fleet's collection server (the robustness harness
+    routes it through a faulty transfer link); ``None`` keeps the
+    default perfect link.
     """
     config = config if config is not None else CampaignConfig.paper_scale()
-    fleet = Fleet(config.fleet, seed=config.seed)
+    fleet = Fleet(config.fleet, seed=config.seed, collector=collector)
     # Suspend cyclic GC across the whole pipeline, not just the event
     # loop (Fleet.run nests its own suspension, which is a no-op here):
     # re-enabling between stages would trigger a generation-2 pass over

@@ -51,6 +51,18 @@ class CampaignConfig:
         return cls(fleet=FleetConfig(phone_count=25, duration=14 * MONTH), seed=seed)
 
     @classmethod
+    def tiny(cls, seed: int = 2005) -> "CampaignConfig":
+        """The smallest meaningful campaign — 3 phones, 1 month — for
+        smoke tests and CI fault sweeps where wall time dominates."""
+        fleet = FleetConfig(
+            phone_count=3,
+            duration=MONTH,
+            enroll_fraction_min=0.0,
+            enroll_fraction_max=0.15,
+        )
+        return cls(fleet=fleet, seed=seed)
+
+    @classmethod
     def quick(cls, seed: int = 2005) -> "CampaignConfig":
         """A small, fast campaign for tests and examples: 6 phones, 2
         months, everyone enrolled early."""

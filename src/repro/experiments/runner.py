@@ -1,4 +1,4 @@
-"""Parallel multi-seed campaign runner.
+"""Parallel multi-seed campaign runner with self-healing execution.
 
 Every multi-seed study used to loop :func:`run_campaign` serially at
 several seconds per paper-scale run.  :func:`run_campaigns` fans the
@@ -7,21 +7,32 @@ runs out over a ``ProcessPoolExecutor`` instead:
 * results come back as picklable :class:`CampaignSummary` objects, in
   **deterministic config order** regardless of completion order;
 * a failing worker surfaces as :class:`CampaignExecutionError` carrying
-  the failing config's seed and position;
+  the failing config's seed, position, attempt count, and the worker's
+  full traceback;
 * ``workers=1`` (or an environment where process pools cannot start —
   sandboxes, restricted interpreters) degrades gracefully to in-process
   serial execution with identical results;
 * an optional :class:`~repro.experiments.cache.CampaignCache` makes
-  repeated sweeps free: cached configs are never dispatched at all.
+  repeated sweeps free: cached configs are never dispatched at all;
+* ``retries`` re-runs a failed campaign (transient worker crashes heal
+  without losing the sweep), and ``timeout`` arms a watchdog that
+  reclaims hung pooled workers instead of blocking the whole sweep;
+* :func:`run_campaigns_resilient` returns a :class:`SweepManifest` —
+  partial results plus a structured failure manifest — instead of
+  aborting the entire sweep on one bad campaign.
 
 Determinism holds because each campaign derives every random stream
 from its own config's seed — worker scheduling cannot reorder anything
-inside a run, and the output list is ordered by input position.
+inside a run, and the output list is ordered by input position.  Retry
+rounds run serially in index order, so a healed sweep is bit-for-bit
+identical to one that never failed (given a deterministic task).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.campaign import run_campaign
 from repro.experiments.config import CampaignConfig
@@ -29,14 +40,88 @@ from repro.experiments.summary import CampaignSummary
 
 
 class CampaignExecutionError(RuntimeError):
-    """A campaign run failed; carries which config it was."""
+    """A campaign run failed; carries which config it was and why.
 
-    def __init__(self, index: int, seed: int, cause: str) -> None:
+    ``traceback`` holds the worker-side traceback text (including the
+    remote traceback when the failure crossed a process boundary) and
+    ``attempts`` how many tries the runner made, so a failed sweep
+    member is diagnosable without re-running it.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        seed: int,
+        cause: str,
+        traceback: str = "",
+        attempts: int = 1,
+    ) -> None:
         super().__init__(
-            f"campaign #{index} (seed {seed}) failed: {cause}"
+            f"campaign #{index} (seed {seed}) failed after "
+            f"{attempts} attempt{'s' if attempts != 1 else ''}: {cause}"
         )
         self.index = index
         self.seed = seed
+        self.cause = cause
+        self.traceback = traceback
+        self.attempts = attempts
+
+
+@dataclass
+class CampaignFailure:
+    """Manifest entry for one campaign that exhausted its attempts."""
+
+    index: int
+    seed: int
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class SweepManifest:
+    """Partial results of a sweep plus its structured failure manifest.
+
+    ``summaries`` matches the input config order; failed slots hold
+    ``None`` and are described in ``failures`` (ordered by index).
+    ``recovered`` counts campaigns that failed at least once and then
+    succeeded on retry — the self-healing the manifest makes visible.
+    """
+
+    summaries: List[Optional[CampaignSummary]]
+    failures: List[CampaignFailure] = field(default_factory=list)
+    recovered: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    @property
+    def failed_indices(self) -> List[int]:
+        return [failure.index for failure in self.failures]
+
+    def completed_summaries(self) -> List[CampaignSummary]:
+        """The summaries that exist, in config order."""
+        return [summary for summary in self.summaries if summary is not None]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total": len(self.summaries),
+            "completed": sum(1 for s in self.summaries if s is not None),
+            "recovered": self.recovered,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
 
 
 def summarize_campaign(config: CampaignConfig) -> CampaignSummary:
@@ -53,6 +138,8 @@ def run_campaigns(
     workers: int = 1,
     cache: Optional[object] = None,
     task: Callable[[CampaignConfig], CampaignSummary] = summarize_campaign,
+    retries: int = 0,
+    timeout: Optional[float] = None,
 ) -> List[CampaignSummary]:
     """Run many campaigns, fanned out over ``workers`` processes.
 
@@ -64,14 +151,86 @@ def run_campaigns(
             (see :class:`~repro.experiments.cache.CampaignCache`);
             hits skip execution entirely.
         task: the per-config work function.  Must be picklable when
-            ``workers > 1``.
+            ``workers > 1``.  A task with an ``accepts_attempt``
+            attribute is called as ``task(config, attempt=n)``.
+        retries: extra attempts per failed campaign (0 = fail fast).
+        timeout: per-campaign watchdog in seconds for pooled workers; a
+            worker that produces no result in time is treated as hung
+            and the campaign is retried or reported.  Serial execution
+            cannot be preempted, so the watchdog only arms the pool.
 
     Raises:
-        CampaignExecutionError: when any run fails; ``.seed`` and
-            ``.index`` identify the failing config.
+        CampaignExecutionError: when any run fails after its retries;
+            ``.seed``, ``.index``, ``.attempts``, and ``.traceback``
+            identify and explain the failing config.
     """
+    manifest = _execute(configs, workers, cache, task, retries, timeout)
+    if manifest.failures:
+        first = manifest.failures[0]
+        raise CampaignExecutionError(
+            first.index,
+            first.seed,
+            f"{first.error_type}: {first.message}",
+            traceback=first.traceback,
+            attempts=first.attempts,
+        )
+    return manifest.summaries  # type: ignore[return-value]
+
+
+def run_campaigns_resilient(
+    configs: Sequence[CampaignConfig],
+    workers: int = 1,
+    cache: Optional[object] = None,
+    task: Callable[[CampaignConfig], CampaignSummary] = summarize_campaign,
+    retries: int = 1,
+    timeout: Optional[float] = None,
+) -> SweepManifest:
+    """Like :func:`run_campaigns`, but never aborts the sweep.
+
+    Every campaign gets ``1 + retries`` attempts; whatever still fails
+    is reported in the returned :class:`SweepManifest` alongside the
+    summaries that did complete.  A sweep hit by transient faults
+    degrades to partial results with a diagnosis, not an exception.
+    """
+    return _execute(configs, workers, cache, task, retries, timeout)
+
+
+# -- execution engine -----------------------------------------------------------
+
+
+#: (error type name, message, formatted traceback) for one failed attempt.
+_FailureInfo = Tuple[str, str, str]
+
+
+def _format_failure(exc: BaseException) -> _FailureInfo:
+    text = "".join(
+        traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return type(exc).__name__, str(exc), text
+
+
+def _call(
+    task: Callable[..., CampaignSummary],
+    config: CampaignConfig,
+    attempt: int,
+) -> CampaignSummary:
+    if getattr(task, "accepts_attempt", False):
+        return task(config, attempt=attempt)
+    return task(config)
+
+
+def _execute(
+    configs: Sequence[CampaignConfig],
+    workers: int,
+    cache: Optional[object],
+    task: Callable[..., CampaignSummary],
+    retries: int,
+    timeout: Optional[float],
+) -> SweepManifest:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     configs = list(configs)
     results: List[Optional[CampaignSummary]] = [None] * len(configs)
 
@@ -83,30 +242,61 @@ def run_campaigns(
         else:
             pending.append(index)
 
+    failed: Dict[int, _FailureInfo] = {}
+    attempts: Dict[int, int] = {}
+    recovered = 0
     if pending:
-        remaining = pending
+        serial = list(pending)
         if workers > 1 and len(pending) > 1:
-            remaining = _run_pooled(configs, pending, results, workers, task)
-        for index in remaining:
-            results[index] = _run_one(task, configs, index)
+            serial = _run_pooled(
+                configs, pending, results, workers, task, timeout, failed
+            )
+        for index in serial:
+            try:
+                results[index] = _call(task, configs[index], attempt=0)
+            except CampaignExecutionError:
+                raise
+            except Exception as exc:
+                failed[index] = _format_failure(exc)
+        for index in pending:
+            attempts[index] = 1
+
+        # Retry rounds: serial, in index order, so a healed sweep is
+        # deterministic regardless of what failed where.
+        for retry in range(1, retries + 1):
+            if not failed:
+                break
+            for index in sorted(failed):
+                attempts[index] += 1
+                try:
+                    results[index] = _call(task, configs[index], attempt=retry)
+                except CampaignExecutionError:
+                    raise
+                except Exception as exc:
+                    failed[index] = _format_failure(exc)
+                else:
+                    del failed[index]
+                    recovered += 1
+
         if cache is not None:
             for index in pending:
-                cache.put(configs[index], results[index])
+                if results[index] is not None:
+                    cache.put(configs[index], results[index])
 
-    return results  # type: ignore[return-value]
-
-
-def _run_one(
-    task: Callable[[CampaignConfig], CampaignSummary],
-    configs: Sequence[CampaignConfig],
-    index: int,
-) -> CampaignSummary:
-    try:
-        return task(configs[index])
-    except CampaignExecutionError:
-        raise
-    except Exception as exc:
-        raise CampaignExecutionError(index, configs[index].seed, repr(exc)) from exc
+    failures = [
+        CampaignFailure(
+            index=index,
+            seed=configs[index].seed,
+            error_type=failed[index][0],
+            message=failed[index][1],
+            traceback=failed[index][2],
+            attempts=attempts.get(index, 1),
+        )
+        for index in sorted(failed)
+    ]
+    return SweepManifest(
+        summaries=results, failures=failures, recovered=recovered
+    )
 
 
 def _run_pooled(
@@ -114,17 +304,21 @@ def _run_pooled(
     pending: Sequence[int],
     results: List[Optional[CampaignSummary]],
     workers: int,
-    task: Callable[[CampaignConfig], CampaignSummary],
+    task: Callable[..., CampaignSummary],
+    timeout: Optional[float],
+    failed: Dict[int, _FailureInfo],
 ) -> List[int]:
     """Execute ``pending`` on a process pool, filling ``results``.
 
-    Returns the indices that still need a serial run: all of them when
-    the pool cannot start, the unfinished tail when it breaks mid-way.
-    Worker exceptions (other than pool breakage) are re-raised with the
-    failing seed attached.
+    Returns the indices that still need a serial first attempt: all of
+    them when the pool cannot start, the unfinished tail when it breaks
+    mid-way.  Worker exceptions land in ``failed``; a worker that
+    misses the ``timeout`` watchdog is recorded as hung (and its future
+    cancelled) rather than blocking the sweep.
     """
     try:
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeoutError
         from concurrent.futures.process import BrokenProcessPool
 
         executor = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
@@ -140,18 +334,23 @@ def _run_pooled(
                 leftover.append(index)
                 continue
             try:
-                results[index] = futures[index].result()
+                results[index] = futures[index].result(timeout=timeout)
             except BrokenProcessPool:
                 # The pool died under us (a killed worker, a sandbox
                 # denying fork): finish the rest in-process.
                 broken = True
                 leftover.append(index)
+            except (FutureTimeoutError, TimeoutError):
+                futures[index].cancel()
+                failed[index] = (
+                    "WorkerTimeout",
+                    f"no result within {timeout}s (hung worker)",
+                    "",
+                )
             except CampaignExecutionError:
                 raise
             except Exception as exc:
-                raise CampaignExecutionError(
-                    index, configs[index].seed, repr(exc)
-                ) from exc
+                failed[index] = _format_failure(exc)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
     return leftover

@@ -135,3 +135,36 @@ class CampaignSummary:
             ground_truth=dict(result.ground_truth),
             sections=result.report.to_dict(),
         )
+
+
+#: The figures the robustness harness tracks for degradation drift, in
+#: render order: availability (MTBF/MTBS, failure interval), the panic
+#: distribution's two dominant classes, and the coalescence rates.
+HEADLINE_KEYS = (
+    "mtbf_freeze_hours",
+    "mtbf_self_shutdown_hours",
+    "failure_interval_days",
+    "access_violation_percent",
+    "heap_management_percent",
+    "hl_related_percent",
+    "cascade_panic_percent",
+)
+
+
+def headline_figures(summary: CampaignSummary) -> Dict[str, float]:
+    """The study's headline figures as one flat ``HEADLINE_KEYS`` dict.
+
+    This is the quantity the fault-injection harness watches: how far
+    these numbers drift under injected collection faults is the
+    measure of graceful (or catastrophic) degradation.
+    """
+    availability = summary.availability
+    return {
+        "mtbf_freeze_hours": availability["mtbf_freeze_hours"],
+        "mtbf_self_shutdown_hours": availability["mtbf_self_shutdown_hours"],
+        "failure_interval_days": availability["failure_interval_days"],
+        "access_violation_percent": summary.panics["access_violation_percent"],
+        "heap_management_percent": summary.panics["heap_management_percent"],
+        "hl_related_percent": summary.hl["related_percent"],
+        "cascade_panic_percent": summary.bursts["cascade_panic_percent"],
+    }

@@ -18,7 +18,7 @@ stored record equal to its own text round trip.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.errors import LogFormatError
 from repro.core.records import record_from_fields
@@ -66,31 +66,46 @@ def parse_line(line: str):
     return record_from_fields(tag, fields)
 
 
-def parse_lines(lines: Iterable[str], strict: bool = False) -> Iterator:
+#: Observer for lines the tolerant parser cannot interpret.
+MalformedLineHook = Callable[[str, LogFormatError], None]
+
+
+def parse_lines(
+    lines: Iterable[str],
+    strict: bool = False,
+    on_error: Optional[MalformedLineHook] = None,
+) -> Iterator:
     """Parse many lines, yielding records.
 
     In tolerant mode (default) malformed lines are skipped — a real log
     can end in a line truncated by power loss.  In strict mode the
-    first malformed line raises :class:`LogFormatError`.
+    first malformed line raises :class:`LogFormatError`.  ``on_error``
+    observes every skipped line (quarantine accounting) so tolerance
+    never means silent data loss.
     """
     for line in lines:
         if not line.strip():
             continue
         try:
             yield parse_line(line)
-        except LogFormatError:
+        except LogFormatError as exc:
             if strict:
                 raise
+            if on_error is not None:
+                on_error(line, exc)
 
 
 def entries_to_records(
-    entries: Iterable[LogEntry], strict: bool = False
+    entries: Iterable[LogEntry],
+    strict: bool = False,
+    on_error: Optional[MalformedLineHook] = None,
 ) -> Iterator:
     """Yield records from stored entries.
 
     Record entries pass through untouched (the structured fast path);
     raw string entries go through the tolerant/strict parser exactly
-    like lines read back from disk.
+    like lines read back from disk, with the same ``on_error``
+    quarantine hook as :func:`parse_lines`.
     """
     for entry in entries:
         if isinstance(entry, str):
@@ -98,9 +113,11 @@ def entries_to_records(
                 continue
             try:
                 yield parse_line(entry)
-            except LogFormatError:
+            except LogFormatError as exc:
                 if strict:
                     raise
+                if on_error is not None:
+                    on_error(entry, exc)
         else:
             yield entry
 

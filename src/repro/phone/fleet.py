@@ -84,11 +84,14 @@ class Fleet:
         self,
         config: Optional[FleetConfig] = None,
         seed: int = 2005,
+        collector: Optional[CollectionServer] = None,
     ) -> None:
         self.config = config if config is not None else FleetConfig()
         self.seed = seed
         self.sim = Simulator()
-        self.collector = CollectionServer()
+        #: Injectable so robustness experiments can route collection
+        #: through a faulty transfer link; defaults to a perfect one.
+        self.collector = collector if collector is not None else CollectionServer()
         self.streams = RandomStreams(seed)
         self.phones: List[PhoneInstance] = []
         self._built = False
@@ -157,6 +160,7 @@ class Fleet:
                 # pass reclaims the campaign's cycles outside the hot path.
                 gc.enable()
         self.sync_all()
+        self.collector.finalize()
 
     def _periodic_transfer(self) -> None:
         self.sync_all()

@@ -207,6 +207,74 @@ class TestSweepCommand:
         with pytest.raises(SystemExit):
             main(["sweep", "--seeds", "5,banana"])
 
+    def test_faults_gate_passes_on_mild_plan(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "robustness.json"
+        code = main(
+            [
+                "faults",
+                "--phones",
+                "3",
+                "--months",
+                "1",
+                "--intensities",
+                "0.5,1",
+                "--max-drift",
+                "5",
+                "--gate-intensity",
+                "1",
+                "--output",
+                str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "headline drift vs intensity" in out
+        assert "OK: worst drift" in out
+        report = json.loads(out_path.read_text())
+        assert len(report["points"]) == 3  # clean anchor + 2 intensities
+        assert report["points"][0]["intensity"] == 0.0
+
+    def test_faults_gate_fails_on_harsh_plan(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--phones",
+                "3",
+                "--months",
+                "1",
+                "--preset",
+                "harsh",
+                "--intensities",
+                "1",
+                "--max-drift",
+                "5",
+                "--gate-intensity",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DEGRADED" in out
+
+    def test_faults_json_output_is_strict(self, capsys):
+        import json
+
+        code = main(
+            ["faults", "--phones", "3", "--months", "1",
+             "--intensities", "0.5", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        json.loads(out)  # whole stdout is one strict-JSON document
+
+    def test_faults_rejects_bad_intensities(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--intensities", "fast"])
+        with pytest.raises(SystemExit):
+            main(["faults", "--intensities", "-1"])
+
 
 class TestExtendedReport:
     def test_extended_render_includes_extension_sections(self, quick_campaign):

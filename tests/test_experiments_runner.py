@@ -7,6 +7,8 @@ surface its seed in the raised error.
 """
 
 import json
+import os
+import time
 
 import pytest
 
@@ -16,6 +18,7 @@ from repro.experiments.config import CampaignConfig
 from repro.experiments.runner import (
     CampaignExecutionError,
     run_campaigns,
+    run_campaigns_resilient,
     summarize_campaign,
 )
 from repro.experiments.summary import (
@@ -45,6 +48,28 @@ def poison_task(config: CampaignConfig) -> CampaignSummary:
 def explode_task(config: CampaignConfig) -> CampaignSummary:
     """Worker task that always fails — proves cached runs never execute."""
     raise AssertionError(f"should not have executed seed {config.seed}")
+
+
+class FlakyTask:
+    """Fails seed 8's first attempt, then heals (picklable instance)."""
+
+    accepts_attempt = True
+
+    def __call__(self, config: CampaignConfig, attempt: int = 0):
+        if config.seed == 8 and attempt == 0:
+            raise ValueError("transient worker fault")
+        return summarize_campaign(config)
+
+
+class HangTask:
+    """Stalls seed 8's first attempt past any sub-second watchdog."""
+
+    accepts_attempt = True
+
+    def __call__(self, config: CampaignConfig, attempt: int = 0):
+        if config.seed == 8 and attempt == 0:
+            time.sleep(3.0)
+        return summarize_campaign(config)
 
 
 @pytest.fixture(scope="module")
@@ -142,6 +167,105 @@ class TestFailurePropagation:
         with pytest.raises(ValueError):
             run_campaigns([tiny_config(7)], workers=0)
 
+    def test_invalid_retry_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaigns([tiny_config(7)], retries=-1)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_error_carries_worker_traceback(self, workers):
+        configs = [tiny_config(seed) for seed in SEEDS]
+        with pytest.raises(CampaignExecutionError) as info:
+            run_campaigns(configs, workers=workers, task=poison_task)
+        assert "poisoned campaign" in info.value.traceback
+        assert "ValueError" in info.value.traceback
+        assert info.value.attempts == 1
+        assert "seed 8" in str(info.value)
+
+    def test_error_reports_attempt_count_after_retries(self):
+        configs = [tiny_config(seed) for seed in SEEDS]
+        with pytest.raises(CampaignExecutionError, match="3 attempts") as info:
+            run_campaigns(configs, workers=1, task=poison_task, retries=2)
+        assert info.value.attempts == 3
+
+
+class TestSelfHealing:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retry_heals_transient_fault(self, workers, serial_summaries):
+        manifest = run_campaigns_resilient(
+            [tiny_config(seed) for seed in SEEDS],
+            workers=workers,
+            task=FlakyTask(),
+            retries=1,
+        )
+        assert manifest.complete
+        assert manifest.recovered == 1
+        # The healed sweep is bit-identical to one that never failed.
+        assert [s.to_dict() for s in manifest.summaries] == [
+            s.to_dict() for s in serial_summaries
+        ]
+
+    def test_run_campaigns_with_retries_succeeds(self, serial_summaries):
+        summaries = run_campaigns(
+            [tiny_config(seed) for seed in SEEDS],
+            workers=1,
+            task=FlakyTask(),
+            retries=1,
+        )
+        assert [s.to_dict() for s in summaries] == [
+            s.to_dict() for s in serial_summaries
+        ]
+
+    def test_resilient_manifest_reports_partial_results(self):
+        manifest = run_campaigns_resilient(
+            [tiny_config(seed) for seed in SEEDS],
+            workers=1,
+            task=poison_task,
+            retries=1,
+        )
+        assert not manifest.complete
+        assert manifest.failed_indices == [1]
+        assert [
+            None if s is None else s.seed for s in manifest.summaries
+        ] == [7, None, 9]
+        assert [s.seed for s in manifest.completed_summaries()] == [7, 9]
+        failure = manifest.failures[0]
+        assert failure.seed == 8
+        assert failure.error_type == "ValueError"
+        assert failure.attempts == 2
+        assert "poisoned campaign" in failure.traceback
+        data = manifest.to_dict()
+        assert data["total"] == 3 and data["completed"] == 2
+        assert data["failures"][0]["seed"] == 8
+        json.dumps(data)  # manifest must be JSON-native
+
+    def test_watchdog_reclaims_hung_worker_and_retry_heals(
+        self, serial_summaries
+    ):
+        manifest = run_campaigns_resilient(
+            [tiny_config(seed) for seed in SEEDS],
+            workers=2,
+            task=HangTask(),
+            retries=1,
+            timeout=1.0,
+        )
+        assert manifest.complete
+        assert manifest.recovered == 1
+        assert [s.to_dict() for s in manifest.summaries] == [
+            s.to_dict() for s in serial_summaries
+        ]
+
+    def test_watchdog_without_retries_reports_hung_worker(self):
+        manifest = run_campaigns_resilient(
+            [tiny_config(seed) for seed in SEEDS],
+            workers=2,
+            task=HangTask(),
+            retries=0,
+            timeout=1.0,
+        )
+        assert manifest.failed_indices == [1]
+        assert manifest.failures[0].error_type == "WorkerTimeout"
+        assert "hung worker" in manifest.failures[0].message
+
 
 class TestCacheIntegration:
     def test_cached_rerun_hits_and_skips_execution(
@@ -211,6 +335,53 @@ class TestCache:
         with open(cache.path_for(config), "w", encoding="utf-8") as handle:
             handle.write("{not json")
         assert cache.get(config) is None
+
+    def test_corrupt_entry_is_evicted_from_disk(self, tmp_path):
+        cache = CampaignCache(str(tmp_path))
+        config = tiny_config(7)
+        summary = summarize_campaign(config)
+        cache.put(config, summary)
+        path = cache.path_for(config)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cache.get(config) is None
+        assert cache.evictions == 1
+        assert not os.path.exists(path)  # cannot shadow the recompute
+        cache.put(config, summary)
+        reloaded = cache.get(config)
+        assert reloaded is not None
+        assert reloaded.to_dict() == summary.to_dict()
+
+    def test_truncated_entry_is_evicted(self, tmp_path):
+        cache = CampaignCache(str(tmp_path))
+        config = tiny_config(7)
+        cache.put(config, summarize_campaign(config))
+        path = cache.path_for(config)
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text[: len(text) // 2])  # torn write
+        assert cache.get(config) is None
+        assert cache.evictions == 1
+        assert not os.path.exists(path)
+
+    def test_missing_file_is_plain_miss_not_eviction(self, tmp_path):
+        cache = CampaignCache(str(tmp_path))
+        assert cache.get(tiny_config(7)) is None
+        assert cache.evictions == 0
+
+    def test_runner_recomputes_through_evicted_entry(self, tmp_path):
+        cache = CampaignCache(str(tmp_path))
+        configs = [tiny_config(seed) for seed in SEEDS]
+        first = run_campaigns(configs, workers=1, cache=cache)
+        with open(cache.path_for(configs[1]), "w", encoding="utf-8") as handle:
+            handle.write('{"key": "garbage"')
+        second = run_campaigns(configs, workers=1, cache=cache)
+        assert cache.evictions == 1
+        assert cache.hits == 2  # the two untouched entries
+        assert [s.to_dict() for s in second] == [s.to_dict() for s in first]
+        # The recomputed entry landed back in a clean slot.
+        assert os.path.exists(cache.path_for(configs[1]))
 
     def test_format_version_mismatch_is_miss(self, tmp_path):
         cache = CampaignCache(str(tmp_path))

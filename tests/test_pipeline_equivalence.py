@@ -92,6 +92,38 @@ class TestReportLevelEquivalence:
             run_campaign(CampaignConfig.quick(7), pipeline="carrier-pigeon")
 
 
+class TestZeroFaultEquivalence:
+    """A disabled fault plan must not perturb a single byte."""
+
+    def test_disabled_plan_summary_is_byte_identical(self):
+        from repro.robustness import FaultPlan, run_faulty_campaign
+
+        clean = run_campaign(CampaignConfig.quick(2005))
+        outcome = run_faulty_campaign(
+            CampaignConfig.quick(2005), plan=FaultPlan.none()
+        )
+        assert _summary_without_config(outcome.result) == (
+            _summary_without_config(clean)
+        )
+        assert outcome.transfer["retries"] == 0
+        assert outcome.injected == {}
+
+    def test_zero_rate_link_machinery_is_byte_identical(self):
+        # Stronger: force every batch through the full transfer-batch
+        # protocol (delivery, reconciliation) with all rates at zero.
+        from repro.logger.transfer import CollectionServer
+        from repro.robustness import FaultPlan, FaultyLink
+
+        clean = run_campaign(CampaignConfig.quick(2005))
+        collector = CollectionServer(link=FaultyLink(FaultPlan.none()))
+        faulty = run_campaign(CampaignConfig.quick(2005), collector=collector)
+        assert _summary_without_config(faulty) == _summary_without_config(
+            clean
+        )
+        assert collector.stats.duplicate_entries_dropped == 0
+        assert collector.stats.out_of_order_batches == 0
+
+
 class TestRunappsDedupe:
     def _run(self, seed: int, dedupe: bool):
         config = CampaignConfig.quick(seed)

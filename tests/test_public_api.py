@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.forum",
     "repro.analysis",
     "repro.experiments",
+    "repro.robustness",
 ]
 
 MODULES = [
@@ -87,6 +88,12 @@ MODULES = [
     "repro.experiments.campaign",
     "repro.experiments.paper",
     "repro.experiments.compare",
+    "repro.experiments.runner",
+    "repro.experiments.cache",
+    "repro.experiments.summary",
+    "repro.robustness.plan",
+    "repro.robustness.injectors",
+    "repro.robustness.experiment",
 ]
 
 

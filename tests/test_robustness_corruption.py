@@ -13,6 +13,12 @@ from hypothesis import strategies as st
 from repro.analysis.ingest import Dataset
 from repro.analysis.report import build_report
 from repro.core.rand import Stream
+from repro.logger.logfile import LogStorage
+from repro.logger.transfer import (
+    CollectionServer,
+    TransferBatch,
+    TransferError,
+)
 
 
 def corrupt_lines(lines, stream, drop=0.0, truncate=0.0, garble=0.0):
@@ -83,6 +89,218 @@ class TestMildCorruption:
             assert sum(r.percent for r in report.panic_table.rows) == pytest.approx(
                 100.0
             )
+
+
+class ScriptedLink:
+    """Transfer link whose per-attempt behavior follows a script.
+
+    Actions: ``ok`` delivers, ``fail`` raises, ``dup`` delivers twice,
+    ``hold`` withholds the batch (still acknowledged — the reorder
+    case), ``release`` delivers the current batch and then every held
+    one.  An exhausted script behaves as ``ok``.
+    """
+
+    def __init__(self, actions=()):
+        self.actions = list(actions)
+        self.held = []
+
+    def deliver(self, batch, receive):
+        action = self.actions.pop(0) if self.actions else "ok"
+        if action == "fail":
+            raise TransferError("scripted link failure")
+        if action == "hold":
+            self.held.append(batch)
+            return
+        receive(batch)
+        if action == "dup":
+            receive(batch)
+        if action == "release":
+            held, self.held = self.held, []
+            for late in held:
+                receive(late)
+
+    def flush(self, receive):
+        held, self.held = self.held, []
+        for late in held:
+            receive(late)
+
+
+def filled_storage(phone_id="phone-00", count=5, start=0):
+    """A log storage holding ``count`` distinct raw lines."""
+    storage = LogStorage(phone_id)
+    for index in range(start, start + count):
+        storage.append_raw(f"line-{index:03d}")
+    return storage
+
+
+class TestCollectionServerCursorSemantics:
+    """Idempotent cursor reconciliation under a misbehaving link."""
+
+    def test_perfect_link_incremental_syncs(self):
+        server = CollectionServer()
+        storage = filled_storage(count=5)
+        assert server.sync(storage) == 5
+        assert server.sync(storage) == 0  # nothing new
+        for index in range(5, 8):
+            storage.append_raw(f"line-{index:03d}")
+        assert server.sync(storage) == 3
+        assert server.lines_for("phone-00") == [
+            f"line-{i:03d}" for i in range(8)
+        ]
+
+    def test_duplicated_batch_applies_once(self):
+        server = CollectionServer(link=ScriptedLink(["dup"]))
+        storage = filled_storage(count=5)
+        assert server.sync(storage) == 5
+        assert server.lines_for("phone-00") == [
+            f"line-{i:03d}" for i in range(5)
+        ]
+        assert server.stats.duplicate_entries_dropped == 5
+
+    def test_reordered_batches_reassemble_in_order(self):
+        server = CollectionServer(link=ScriptedLink(["hold", "release"]))
+        storage = filled_storage(count=5)
+        # First sync is withheld by the link but still acknowledged:
+        # the client cursor moves on.
+        assert server.sync(storage) == 5
+        assert server.lines_for("phone-00") == []
+        for index in range(5, 10):
+            storage.append_raw(f"line-{index:03d}")
+        # Second sync ships [5:10) first; the server buffers it, then
+        # stitches both spans once the held batch lands.
+        assert server.sync(storage) == 5
+        assert server.lines_for("phone-00") == [
+            f"line-{i:03d}" for i in range(10)
+        ]
+        assert server.stats.out_of_order_batches == 1
+        assert server.stats.reassembled_batches == 1
+        assert server.stats.duplicate_entries_dropped == 0
+
+    def test_failed_sync_leaves_cursor_and_catches_up(self):
+        server = CollectionServer(link=ScriptedLink(["fail"] * 4))
+        storage = filled_storage(count=5)
+        assert server.sync(storage) == 0
+        assert server.stats.failed_syncs == 1
+        assert server.stats.retries == 3  # 4 attempts = 3 retries
+        # Modeled exponential backoff: 30 + 60 + 120 seconds.
+        assert server.stats.backoff_seconds == pytest.approx(210.0)
+        for index in range(5, 8):
+            storage.append_raw(f"line-{index:03d}")
+        # Script exhausted -> the next sync succeeds and re-ships the
+        # whole unacknowledged span: no loss, no duplication.
+        assert server.sync(storage) == 8
+        assert server.lines_for("phone-00") == [
+            f"line-{i:03d}" for i in range(8)
+        ]
+
+    def test_transient_failure_recovers_within_one_sync(self):
+        server = CollectionServer(link=ScriptedLink(["fail", "ok"]))
+        storage = filled_storage(count=5)
+        assert server.sync(storage) == 5
+        assert server.stats.retries == 1
+        assert server.stats.backoff_seconds == pytest.approx(30.0)
+        assert server.stats.failed_syncs == 0
+        assert server.lines_for("phone-00") == [
+            f"line-{i:03d}" for i in range(5)
+        ]
+
+    def test_interleaved_phones_have_independent_cursors(self):
+        server = CollectionServer(link=ScriptedLink(["dup", "fail"] * 4))
+        alpha = filled_storage("phone-aa", count=3)
+        beta = filled_storage("phone-bb", count=4)
+        # dup(alpha), then fail+ok(beta), dup(alpha tail), fail+ok(beta tail)
+        assert server.sync(alpha) == 3
+        assert server.sync(beta) == 4
+        for index in range(3, 6):
+            alpha.append_raw(f"line-{index:03d}")
+        for index in range(4, 6):
+            beta.append_raw(f"line-{index:03d}")
+        assert server.sync(alpha) == 3
+        assert server.sync(beta) == 2
+        assert server.lines_for("phone-aa") == [
+            f"line-{i:03d}" for i in range(6)
+        ]
+        assert server.lines_for("phone-bb") == [
+            f"line-{i:03d}" for i in range(6)
+        ]
+        assert server.phone_ids() == ("phone-aa", "phone-bb")
+
+    def test_overlapping_redelivery_is_trimmed(self):
+        class OverlapLink:
+            """Widens every batch to re-cover the previous span."""
+
+            def __init__(self):
+                self.prev = None
+
+            def deliver(self, batch, receive):
+                prev = self.prev
+                if prev is not None and prev.phone_id == batch.phone_id:
+                    receive(
+                        TransferBatch(
+                            batch.phone_id,
+                            prev.start,
+                            prev.entries + batch.entries,
+                        )
+                    )
+                else:
+                    receive(batch)
+                self.prev = batch
+
+            def flush(self, receive):
+                pass
+
+        server = CollectionServer(link=OverlapLink())
+        storage = filled_storage(count=5)
+        assert server.sync(storage) == 5
+        for index in range(5, 8):
+            storage.append_raw(f"line-{index:03d}")
+        assert server.sync(storage) == 3
+        assert server.lines_for("phone-00") == [
+            f"line-{i:03d}" for i in range(8)
+        ]
+        assert server.stats.duplicate_entries_dropped == 5
+
+    def test_finalize_flushes_still_held_batches(self):
+        server = CollectionServer(link=ScriptedLink(["hold"]))
+        storage = filled_storage(count=5)
+        assert server.sync(storage) == 5
+        assert server.lines_for("phone-00") == []
+        server.finalize()
+        assert server.lines_for("phone-00") == [
+            f"line-{i:03d}" for i in range(5)
+        ]
+
+    def test_full_stale_redelivery_is_dropped(self):
+        class StaleLink:
+            """Re-delivers the very first batch after every later one."""
+
+            def __init__(self):
+                self.first = None
+
+            def deliver(self, batch, receive):
+                receive(batch)
+                if self.first is None:
+                    self.first = batch
+                else:
+                    receive(self.first)
+
+            def flush(self, receive):
+                pass
+
+        server = CollectionServer(link=StaleLink())
+        storage = filled_storage(count=4)
+        assert server.sync(storage) == 4
+        for index in range(4, 6):
+            storage.append_raw(f"line-{index:03d}")
+        assert server.sync(storage) == 2
+        assert server.lines_for("phone-00") == [
+            f"line-{i:03d}" for i in range(6)
+        ]
+        assert server.stats.duplicate_entries_dropped == 4
+
+    def test_max_attempts_validation(self):
+        with pytest.raises(ValueError):
+            CollectionServer(max_attempts=0)
 
 
 @given(
