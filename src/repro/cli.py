@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the whole study:
+Seven subcommands cover the whole study:
 
 * ``campaign`` — simulate a deployment campaign, print the full report,
   optionally export the raw per-phone log files to a directory;
@@ -16,6 +16,9 @@ Six subcommands cover the whole study:
 * ``perf``     — measure the campaign pipeline (wall time per stage,
   events/second, optional cProfile table) and optionally check the
   result against a committed baseline such as ``BENCH_campaign.json``;
+* ``trace``    — run one campaign at full telemetry and write a Chrome
+  ``trace_event`` JSON timeline (open it in ``chrome://tracing`` or
+  https://ui.perfetto.dev), plus a top-N hotspot summary on stdout;
 * ``faults``   — inject faults into the collection path (storage,
   transfer, worker, cache layers) at swept intensities and report how
   far the headline figures drift — the degradation-curve experiment
@@ -29,6 +32,8 @@ Usage::
     python -m repro.cli forum --noise 0.25
     python -m repro.cli perf --repeats 3 --profile
     python -m repro.cli perf --check-against BENCH_campaign.json
+    python -m repro.cli perf --trace perf_trace.json
+    python -m repro.cli trace trace.json --phones 6 --months 2
     python -m repro.cli faults --intensities 0.5,1,2 --output robustness.json
     python -m repro.cli faults --max-drift 5 --gate-intensity 1 --resilience
 """
@@ -59,6 +64,12 @@ from repro.experiments.runner import run_campaigns
 from repro.forum.corpus import CorpusConfig
 from repro.forum.study import run_forum_study
 from repro.logger.transfer import load_lines_from_dir
+from repro.observability.export import (
+    chrome_trace,
+    render_hotspots,
+    validate_chrome_trace,
+)
+from repro.observability.telemetry import TELEMETRY_TRACE, Telemetry
 from repro.phone.fleet import FleetConfig
 from repro.robustness.experiment import (
     DEFAULT_INTENSITIES,
@@ -190,6 +201,36 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
         help="regression factor for --check-against (default: 2.0)",
+    )
+    perf.add_argument(
+        "--trace", metavar="FILE", default=None, dest="trace_path",
+        help="write a Chrome-trace JSON of a separate trace-level run "
+        "(wall numbers stay untelemetered)",
+    )
+    perf.add_argument(
+        "--no-counters", action="store_false", dest="counters",
+        help="skip the separate metrics run that samples counter totals",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one campaign at full telemetry and write a Chrome "
+        "trace timeline",
+    )
+    trace.add_argument(
+        "output", help="Chrome trace_event JSON file to write "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    trace.add_argument("--phones", type=int, default=6)
+    trace.add_argument("--months", type=float, default=2.0)
+    trace.add_argument("--seed", type=int, default=2005)
+    trace.add_argument(
+        "--pipeline", choices=PIPELINES, default=PIPELINE_STRUCTURED,
+        help="ingest door for the traced run (default: structured)",
+    )
+    trace.add_argument(
+        "--top", type=int, default=15,
+        help="rows in the hotspot summary (default: 15)",
     )
 
     faults = sub.add_parser(
@@ -363,6 +404,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             profile=args.profile,
             profile_top=args.profile_top,
+            counters=args.counters,
+            trace_path=args.trace_path,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -388,6 +431,33 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print(("OK: " if ok else "REGRESSION: ") + message)
         if not ok:
             return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        fleet=FleetConfig(
+            phone_count=args.phones, duration=args.months * MONTH
+        ),
+        seed=args.seed,
+    )
+    tel = Telemetry(TELEMETRY_TRACE)
+    run_campaign(config, pipeline=args.pipeline, telemetry=tel)
+    trace = chrome_trace(tel.tracer, tel.registry)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+        handle.write("\n")
+    print(
+        f"wrote {args.output}: {len(trace['traceEvents'])} events from "
+        f"{args.phones} phones x {args.months:g} months (seed {args.seed})\n"
+        "open it in chrome://tracing or https://ui.perfetto.dev\n"
+    )
+    print(render_hotspots(tel.tracer, top=args.top))
     return 0
 
 
@@ -463,6 +533,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_forum(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "faults":
         return _cmd_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -22,6 +22,12 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.clock import SimClock
 from repro.core.errors import SimulationError
+from repro.observability.telemetry import current_telemetry
+
+#: Bounds of the scheduling-horizon histogram (seconds of virtual
+#: delay between scheduling an event and its fire time): sub-minute
+#: timers up through the week-scale transfer cycle.
+HORIZON_BOUNDS = (1.0, 10.0, 60.0, 600.0, 3600.0, 21600.0, 86400.0, 604800.0)
 
 
 class ScheduledEvent:
@@ -98,7 +104,26 @@ class Simulator:
         self._seq = 0
         self._events_fired = 0
         self._cancelled_count = 0
+        self._cancels_total = 0
+        self._compactions = 0
         self._running = False
+        # Telemetry: the horizon histogram handle is resolved once here;
+        # below trace level it stays None and the scheduling hot path
+        # pays a single branch.  Trace level, not metrics: observing
+        # every schedule_* call is the one per-event histogram in the
+        # simulator core, and the metrics level must stay within a few
+        # percent of untelemetered wall time (the scalar counters are
+        # sampled at campaign end instead — see Fleet.sample_metrics).
+        tel = current_telemetry()
+        self._horizon_hist = (
+            tel.registry.histogram(
+                "sim.event_horizon_seconds",
+                help="virtual delay between scheduling and fire time",
+                bounds=HORIZON_BOUNDS,
+            ).series()
+            if tel.tracing
+            else None
+        )
 
     @property
     def now(self) -> float:
@@ -109,6 +134,21 @@ class Simulator:
     def events_fired(self) -> int:
         """Total number of callbacks executed so far."""
         return self._events_fired
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total number of events ever scheduled."""
+        return self._seq
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total number of cancellations over the simulator's life."""
+        return self._cancels_total
+
+    @property
+    def compactions(self) -> int:
+        """Heap compaction passes performed so far."""
+        return self._compactions
 
     def schedule_at(
         self,
@@ -132,6 +172,9 @@ class Simulator:
         event = ScheduledEvent(time, priority, seq, fn, args)
         event._sim = self
         heapq.heappush(self._heap, (time, priority, seq, event))
+        hist = self._horizon_hist
+        if hist is not None:
+            hist.observe(time - self.clock._now)
         return event
 
     def schedule_after(
@@ -153,6 +196,9 @@ class Simulator:
         event = ScheduledEvent(time, priority, seq, fn, args)
         event._sim = self
         heapq.heappush(self._heap, (time, priority, seq, event))
+        hist = self._horizon_hist
+        if hist is not None:
+            hist.observe(delay)
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -229,6 +275,7 @@ class Simulator:
         """A live heap entry was cancelled; compact when dead entries
         dominate the heap."""
         self._cancelled_count += 1
+        self._cancels_total += 1
         if (
             len(self._heap) >= self.COMPACTION_MIN_SIZE
             and self._cancelled_count * 2 > len(self._heap)
@@ -247,6 +294,7 @@ class Simulator:
         self._heap[:] = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_count = 0
+        self._compactions += 1
 
     def _drop_cancelled(self) -> None:
         heap = self._heap

@@ -51,7 +51,7 @@ class Subscription:
 class EventBus:
     """Topic string -> insertion-ordered subscription table."""
 
-    __slots__ = ("_topics", "_delivering")
+    __slots__ = ("_topics", "_delivering", "publishes", "deliveries")
 
     def __init__(self) -> None:
         # topic -> {subscription: handler}; dicts preserve insertion
@@ -60,6 +60,14 @@ class EventBus:
         # Number of publishes currently on the stack (any topic).  While
         # non-zero, mutations copy-on-write instead of mutating tables.
         self._delivering = 0
+        # Intrinsic lifetime stats, maintained like the simulator's own
+        # event counters: plain int increments, sampled once at campaign
+        # end (Fleet.sample_metrics) rather than pushed through registry
+        # series on every publish — this path runs ~264k times per
+        # campaign, so even one foreign float add per publish is a
+        # measurable fraction of metrics-level overhead.
+        self.publishes = 0
+        self.deliveries = 0
 
     def subscribe(self, topic: str, handler: Handler) -> Subscription:
         """Register ``handler`` for ``topic``; returns a cancellable handle."""
@@ -84,8 +92,10 @@ class EventBus:
         the publish starts).
         """
         table = self._topics.get(topic)
+        self.publishes += 1
         if table is None:
             return 0
+        self.deliveries += len(table)
         self._delivering += 1
         try:
             if kwargs:

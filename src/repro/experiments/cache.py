@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.experiments.config import CampaignConfig
 from repro.experiments.summary import SUMMARY_FORMAT_VERSION, CampaignSummary
+from repro.observability.telemetry import current_telemetry
 
 #: Length of the hex-digest prefix used as the file name.
 KEY_LENGTH = 32
@@ -69,6 +70,14 @@ class CampaignCache:
         """
         key = campaign_cache_key(config)
         path = os.path.join(self.directory, key + ".json")
+        tel = current_telemetry()
+        lookups = (
+            tel.registry.counter(
+                "cache.lookups_total", help="summary-cache lookups by outcome"
+            )
+            if tel.metrics
+            else None
+        )
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
@@ -81,20 +90,47 @@ class CampaignCache:
             summary = CampaignSummary.from_dict(entry["summary"])
         except FileNotFoundError:
             self.misses += 1
+            if lookups is not None:
+                lookups.inc(outcome="miss")
             return None
         except (OSError, ValueError, KeyError, TypeError):
+            # The entry existed but could not be trusted: its bytes are
+            # discarded here, so account for the swallow before evicting.
+            if tel.metrics:
+                tel.registry.counter(
+                    "dropped_total",
+                    help="data discarded at except-and-continue sites",
+                ).inc(site="cache.corrupt_entry")
             self._evict(path)
             self.misses += 1
+            if lookups is not None:
+                lookups.inc(outcome="miss")
             return None
         self.hits += 1
+        if lookups is not None:
+            lookups.inc(outcome="hit")
         return summary
 
     def _evict(self, path: str) -> None:
         try:
             os.unlink(path)
         except OSError:
+            # The bad file stays on disk (permissions, a vanished dir);
+            # it will fail again next sweep, so make the swallow count.
+            tel = current_telemetry()
+            if tel.metrics:
+                tel.registry.counter(
+                    "dropped_total",
+                    help="data discarded at except-and-continue sites",
+                ).inc(site="cache.evict_unlink")
             return
         self.evictions += 1
+        tel = current_telemetry()
+        if tel.metrics:
+            tel.registry.counter(
+                "cache.evictions_total",
+                help="corrupt or stale cache entries removed",
+            ).inc()
 
     def put(self, config: CampaignConfig, summary: CampaignSummary) -> str:
         """Store ``summary`` under ``config``'s key; returns the path."""

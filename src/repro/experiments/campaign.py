@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import gc
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 from repro.analysis.ingest import PIPELINE_STRUCTURED, PIPELINE_TEXT, Dataset
 from repro.analysis.report import ReproductionReport, build_report
 from repro.experiments.config import CampaignConfig
+from repro.observability.telemetry import Telemetry, current_telemetry
 from repro.phone.fleet import Fleet
 
 __all__ = [
@@ -27,6 +28,9 @@ class CampaignResult:
     fleet: Fleet
     dataset: Dataset
     report: ReproductionReport
+    #: JSON-native telemetry snapshot (``Telemetry.snapshot()``), empty
+    #: when the campaign ran with telemetry off.
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ground_truth(self) -> dict:
@@ -34,10 +38,34 @@ class CampaignResult:
         return self.fleet.ground_truth()
 
 
+def _sample_ingest_metrics(registry, dataset: Dataset) -> None:
+    """Ingest-side counters, identical across both pipeline doors.
+
+    Record counts and quarantine accounting are pinned byte-identical
+    between ``structured`` and ``text`` ingest, so these counters hold
+    the determinism guarantee the telemetry tests rely on.
+    """
+    records = registry.counter(
+        "ingest.records_total", help="parsed records entering the analysis"
+    ).series()
+    records.value += float(
+        sum(log.record_count for log in dataset.logs.values())
+    )
+    report = dataset.ingest_report
+    if report.quarantined:
+        quarantined = registry.counter(
+            "ingest.quarantined_total",
+            help="lines the tolerant parser rejected, by corruption class",
+        )
+        for cls, count in report.by_class.items():
+            quarantined.series(corruption=cls).value += float(count)
+
+
 def run_campaign(
     config: Optional[CampaignConfig] = None,
     pipeline: str = PIPELINE_STRUCTURED,
     collector: Optional[object] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> CampaignResult:
     """Run a full campaign and analyse its collected logs.
 
@@ -49,24 +77,55 @@ def run_campaign(
     detail, not part of :class:`CampaignConfig`.  ``collector``
     substitutes the fleet's collection server (the robustness harness
     routes it through a faulty transfer link); ``None`` keeps the
-    default perfect link.
+    default perfect link.  ``telemetry`` (or the process-current
+    instance) is installed for the duration: at ``metrics`` level the
+    campaign's counters land in its registry and in
+    ``CampaignResult.telemetry``; at ``trace`` level the run also
+    produces the simulate/ingest/report stage spans.
     """
     config = config if config is not None else CampaignConfig.paper_scale()
-    fleet = Fleet(config.fleet, seed=config.seed, collector=collector)
-    # Suspend cyclic GC across the whole pipeline, not just the event
-    # loop (Fleet.run nests its own suspension, which is a no-op here):
-    # re-enabling between stages would trigger a generation-2 pass over
-    # the full campaign graph right in the middle of ingest.
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
-        fleet.run()
-        dataset = Dataset.from_collector(
-            fleet.collector, end_time=config.fleet.duration, pipeline=pipeline
-        )
-        report = build_report(dataset, window=config.coalescence_window)
-    finally:
+    tel = telemetry if telemetry is not None else current_telemetry()
+    with tel.installed():
+        fleet = Fleet(config.fleet, seed=config.seed, collector=collector)
+        # Suspend cyclic GC across the whole pipeline, not just the event
+        # loop (Fleet.run nests its own suspension, which is a no-op here):
+        # re-enabling between stages would trigger a generation-2 pass over
+        # the full campaign graph right in the middle of ingest.
+        gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
-            gc.enable()
-    return CampaignResult(config=config, fleet=fleet, dataset=dataset, report=report)
+            gc.disable()
+        try:
+            # The ingest door is deliberately NOT a span arg: both doors
+            # must produce identical sim-time span trees (it lives in
+            # the summary's config instead).
+            with tel.span(
+                "campaign",
+                category="campaign",
+                seed=config.seed,
+                phones=config.fleet.phone_count,
+            ):
+                with tel.span("simulate", category="stage"):
+                    fleet.run()
+                with tel.span("ingest", category="stage"):
+                    dataset = Dataset.from_collector(
+                        fleet.collector,
+                        end_time=config.fleet.duration,
+                        pipeline=pipeline,
+                    )
+                with tel.span("report", category="stage"):
+                    report = build_report(dataset, window=config.coalescence_window)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        snapshot: Dict[str, Any] = {}
+        if tel.metrics:
+            fleet.sample_metrics(tel.registry)
+            _sample_ingest_metrics(tel.registry, dataset)
+            snapshot = tel.snapshot()
+    return CampaignResult(
+        config=config,
+        fleet=fleet,
+        dataset=dataset,
+        report=report,
+        telemetry=snapshot,
+    )

@@ -35,7 +35,14 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.analysis.ingest import PIPELINE_STRUCTURED, PIPELINES, Dataset
 from repro.analysis.report import build_report
 from repro.core.clock import MONTH
+from repro.experiments.campaign import run_campaign
 from repro.experiments.config import CampaignConfig
+from repro.observability.export import write_chrome_trace
+from repro.observability.telemetry import (
+    TELEMETRY_METRICS,
+    TELEMETRY_TRACE,
+    Telemetry,
+)
 from repro.phone.fleet import Fleet
 
 #: CI fails when the measured wall time exceeds the committed baseline
@@ -65,6 +72,11 @@ class PerfResult:
     #: Profiled time is reported separately and is NOT wall time.
     profile_top: Optional[List[Dict[str, Any]]] = None
     profile_wall_seconds: Optional[float] = None
+    #: Headline counter totals from a separate telemetry-enabled run
+    #: (deterministic in the seed, so they describe the timed runs too).
+    counter_totals: Optional[Dict[str, float]] = None
+    #: Where the Chrome trace of the telemetry run was written, if asked.
+    trace_path: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -82,6 +94,12 @@ class PerfResult:
             "events_per_second": round(self.events_per_second, 1),
             "records_collected": self.records_collected,
         }
+        if self.counter_totals is not None:
+            data["counters"] = {
+                name: value for name, value in sorted(self.counter_totals.items())
+            }
+        if self.trace_path is not None:
+            data["trace_path"] = self.trace_path
         if self.profile_top is not None:
             data["profile"] = {
                 "note": (
@@ -109,6 +127,12 @@ class PerfResult:
         lines.append(f"  events fired   : {self.events_fired}")
         lines.append(f"  events/second  : {self.events_per_second:,.0f}")
         lines.append(f"  records        : {self.records_collected}")
+        if self.counter_totals:
+            lines.append("  counters (separate telemetry run):")
+            for name, value in sorted(self.counter_totals.items()):
+                lines.append(f"    {name:32s}: {value:,.0f}")
+        if self.trace_path:
+            lines.append(f"  trace          : {self.trace_path}")
         if self.profile_top:
             lines.append(
                 f"  profile (separate run, {self.profile_wall_seconds:.3f} s "
@@ -164,12 +188,18 @@ def measure_campaign(
     repeats: int = 1,
     profile: bool = False,
     profile_top: int = 12,
+    counters: bool = True,
+    trace_path: Optional[str] = None,
 ) -> PerfResult:
     """Measure the campaign pipeline; returns the best of ``repeats``.
 
-    Wall numbers always come from clean (unprofiled) runs.  With
-    ``profile=True`` one *additional* run executes under cProfile to
-    produce the hot-function table.
+    Wall numbers always come from clean (unprofiled, untelemetered)
+    runs.  With ``profile=True`` one *additional* run executes under
+    cProfile to produce the hot-function table.  With ``counters=True``
+    (the default) one additional metrics-level run samples the headline
+    counter totals — deterministic in the seed, so they describe the
+    timed runs exactly; ``trace_path`` upgrades that run to trace level
+    and writes its Chrome-trace JSON there.
     """
     if pipeline not in PIPELINES:
         raise ValueError(f"unknown pipeline {pipeline!r}; expected {PIPELINES}")
@@ -215,6 +245,14 @@ def measure_campaign(
                 }
             )
 
+    totals: Optional[Dict[str, float]] = None
+    if counters or trace_path:
+        tel = Telemetry(TELEMETRY_TRACE if trace_path else TELEMETRY_METRICS)
+        run_campaign(config, pipeline=pipeline, telemetry=tel)
+        totals = tel.registry.counter_totals()
+        if trace_path:
+            write_chrome_trace(trace_path, tel.tracer, tel.registry)
+
     months = config.fleet.duration / MONTH
     return PerfResult(
         phones=config.fleet.phone_count,
@@ -230,6 +268,8 @@ def measure_campaign(
         all_wall_seconds=all_walls,
         profile_top=top_rows,
         profile_wall_seconds=profiled_wall,
+        counter_totals=totals,
+        trace_path=trace_path,
     )
 
 

@@ -32,11 +32,18 @@ from __future__ import annotations
 
 import traceback as traceback_module
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.campaign import run_campaign
 from repro.experiments.config import CampaignConfig
 from repro.experiments.summary import CampaignSummary
+from repro.observability.metrics import MetricsRegistry, merge_registries
+from repro.observability.telemetry import (
+    TELEMETRY_METRICS,
+    Telemetry,
+    current_telemetry,
+)
 
 
 class CampaignExecutionError(RuntimeError):
@@ -77,6 +84,13 @@ class CampaignFailure:
     message: str
     traceback: str
     attempts: int
+    #: Runner-observed wall seconds of each attempt, in attempt order
+    #: (sourced from the runner's per-attempt spans).  A hung pooled
+    #: worker shows up as an attempt pinned near the watchdog deadline.
+    attempt_wall_seconds: List[float] = field(default_factory=list)
+    #: The watchdog deadline armed for this campaign's pooled attempts;
+    #: ``None`` when no watchdog was armed (serial execution).
+    watchdog_seconds: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -86,6 +100,10 @@ class CampaignFailure:
             "message": self.message,
             "traceback": self.traceback,
             "attempts": self.attempts,
+            "attempt_wall_seconds": [
+                round(wall, 6) for wall in self.attempt_wall_seconds
+            ],
+            "watchdog_seconds": self.watchdog_seconds,
         }
 
 
@@ -123,6 +141,27 @@ class SweepManifest:
             "failures": [failure.to_dict() for failure in self.failures],
         }
 
+    def merged_metrics(self) -> MetricsRegistry:
+        """One registry folding every completed summary's telemetry."""
+        return merged_metrics(self.completed_summaries())
+
+
+def merged_metrics(
+    summaries: Sequence[Optional[CampaignSummary]],
+) -> MetricsRegistry:
+    """Merge the sweep's per-worker telemetry registries into one.
+
+    The merge is commutative and associative series-by-series, so the
+    result is independent of worker count and scheduling: a 4-worker
+    sweep merges to exactly the registry a single process accumulates
+    over the same seeds.
+    """
+    return merge_registries(
+        summary.telemetry.get("metrics", {})
+        for summary in summaries
+        if summary is not None and summary.telemetry
+    )
+
 
 def summarize_campaign(config: CampaignConfig) -> CampaignSummary:
     """Run one campaign and snapshot it — the unit of worker work.
@@ -131,6 +170,28 @@ def summarize_campaign(config: CampaignConfig) -> CampaignSummary:
     boundary regardless of start method.
     """
     return CampaignSummary.from_result(run_campaign(config))
+
+
+class TelemetryTask:
+    """A picklable worker task that runs its campaign under telemetry.
+
+    Each invocation installs a fresh :class:`Telemetry` at ``level``
+    for the duration of its campaign, so pooled workers never share
+    registries; the snapshot rides back to the runner inside the
+    summary (plain JSON, no pickling of live telemetry objects), where
+    :func:`merged_metrics` folds the fleet back together.
+    """
+
+    #: The runner may pass the attempt number; it does not change rolls.
+    accepts_attempt = False
+
+    def __init__(self, level: str = TELEMETRY_METRICS) -> None:
+        self.level = level
+
+    def __call__(self, config: CampaignConfig) -> CampaignSummary:
+        return CampaignSummary.from_result(
+            run_campaign(config, telemetry=Telemetry(self.level))
+        )
 
 
 def run_campaigns(
@@ -219,6 +280,35 @@ def _call(
     return task(config)
 
 
+def _timed_call(
+    tel: Telemetry,
+    task: Callable[..., CampaignSummary],
+    config: CampaignConfig,
+    index: int,
+    attempt: int,
+    walls: Dict[int, List[float]],
+) -> CampaignSummary:
+    """One serial attempt under a runner span, wall time recorded.
+
+    The wall measurement feeds the failure manifest whether or not the
+    attempt (or telemetry) succeeds, so a manifest always explains
+    where the sweep's time went.
+    """
+    start = perf_counter()
+    try:
+        with tel.span(
+            "campaign.attempt",
+            category="runner",
+            track="runner",
+            index=index,
+            seed=config.seed,
+            attempt=attempt,
+        ):
+            return _call(task, config, attempt=attempt)
+    finally:
+        walls.setdefault(index, []).append(perf_counter() - start)
+
+
 def _execute(
     configs: Sequence[CampaignConfig],
     workers: int,
@@ -244,16 +334,30 @@ def _execute(
 
     failed: Dict[int, _FailureInfo] = {}
     attempts: Dict[int, int] = {}
+    walls: Dict[int, List[float]] = {}
+    watchdogs: Dict[int, Optional[float]] = {}
+    tel = current_telemetry()
     recovered = 0
     if pending:
         serial = list(pending)
         if workers > 1 and len(pending) > 1:
             serial = _run_pooled(
-                configs, pending, results, workers, task, timeout, failed
+                configs,
+                pending,
+                results,
+                workers,
+                task,
+                timeout,
+                failed,
+                walls,
+                watchdogs,
+                tel,
             )
         for index in serial:
             try:
-                results[index] = _call(task, configs[index], attempt=0)
+                results[index] = _timed_call(
+                    tel, task, configs[index], index, 0, walls
+                )
             except CampaignExecutionError:
                 raise
             except Exception as exc:
@@ -263,13 +367,24 @@ def _execute(
 
         # Retry rounds: serial, in index order, so a healed sweep is
         # deterministic regardless of what failed where.
+        retry_series = (
+            tel.registry.counter(
+                "runner.retries_total", help="campaign retry attempts"
+            ).series()
+            if tel.metrics
+            else None
+        )
         for retry in range(1, retries + 1):
             if not failed:
                 break
             for index in sorted(failed):
                 attempts[index] += 1
+                if retry_series is not None:
+                    retry_series.value += 1.0
                 try:
-                    results[index] = _call(task, configs[index], attempt=retry)
+                    results[index] = _timed_call(
+                        tel, task, configs[index], index, retry, walls
+                    )
                 except CampaignExecutionError:
                     raise
                 except Exception as exc:
@@ -291,6 +406,8 @@ def _execute(
             message=failed[index][1],
             traceback=failed[index][2],
             attempts=attempts.get(index, 1),
+            attempt_wall_seconds=walls.get(index, []),
+            watchdog_seconds=watchdogs.get(index),
         )
         for index in sorted(failed)
     ]
@@ -307,6 +424,9 @@ def _run_pooled(
     task: Callable[..., CampaignSummary],
     timeout: Optional[float],
     failed: Dict[int, _FailureInfo],
+    walls: Dict[int, List[float]],
+    watchdogs: Dict[int, Optional[float]],
+    tel: Telemetry,
 ) -> List[int]:
     """Execute ``pending`` on a process pool, filling ``results``.
 
@@ -314,7 +434,10 @@ def _run_pooled(
     them when the pool cannot start, the unfinished tail when it breaks
     mid-way.  Worker exceptions land in ``failed``; a worker that
     misses the ``timeout`` watchdog is recorded as hung (and its future
-    cancelled) rather than blocking the sweep.
+    cancelled) rather than blocking the sweep.  Per-attempt wall time
+    (submission to outcome, as observed from the runner) lands in
+    ``walls``, and ``watchdogs`` records the deadline each pooled
+    campaign was actually armed with.
     """
     try:
         from concurrent.futures import ProcessPoolExecutor
@@ -325,23 +448,54 @@ def _run_pooled(
     except Exception:
         return list(pending)
 
+    watchdog_series = (
+        tel.registry.counter(
+            "runner.watchdog_fires_total",
+            help="pooled workers reclaimed by the watchdog",
+        ).series()
+        if tel.metrics
+        else None
+    )
     leftover: List[int] = []
     try:
+        submitted_at = {index: perf_counter() for index in pending}
         futures = {index: executor.submit(task, configs[index]) for index in pending}
         broken = False
         for index in pending:
             if broken:
                 leftover.append(index)
                 continue
+            watchdogs[index] = timeout
             try:
-                results[index] = futures[index].result(timeout=timeout)
+                with tel.span(
+                    "campaign.await",
+                    category="runner",
+                    track="runner",
+                    index=index,
+                    seed=configs[index].seed,
+                ):
+                    results[index] = futures[index].result(timeout=timeout)
             except BrokenProcessPool:
                 # The pool died under us (a killed worker, a sandbox
-                # denying fork): finish the rest in-process.
+                # denying fork): finish the rest in-process.  No
+                # watchdog ever guarded this attempt, so unrecord it.
                 broken = True
+                watchdogs.pop(index, None)
                 leftover.append(index)
             except (FutureTimeoutError, TimeoutError):
                 futures[index].cancel()
+                walls.setdefault(index, []).append(
+                    perf_counter() - submitted_at[index]
+                )
+                if watchdog_series is not None:
+                    watchdog_series.value += 1.0
+                tel.instant(
+                    "watchdog fire",
+                    category="runner",
+                    track="runner",
+                    index=index,
+                    seed=configs[index].seed,
+                )
                 failed[index] = (
                     "WorkerTimeout",
                     f"no result within {timeout}s (hung worker)",
@@ -350,7 +504,14 @@ def _run_pooled(
             except CampaignExecutionError:
                 raise
             except Exception as exc:
+                walls.setdefault(index, []).append(
+                    perf_counter() - submitted_at[index]
+                )
                 failed[index] = _format_failure(exc)
+            else:
+                walls.setdefault(index, []).append(
+                    perf_counter() - submitted_at[index]
+                )
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
     return leftover

@@ -24,7 +24,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bumped whenever the summary schema changes; part of the cache key,
 #: so stale on-disk entries are silently recomputed, never misread.
-SUMMARY_FORMAT_VERSION = 1
+#: v2: telemetry snapshot (metrics registry + span forest) added.
+SUMMARY_FORMAT_VERSION = 2
 
 #: The report sections a summary carries, in report order.
 SECTION_KEYS = (
@@ -49,6 +50,10 @@ class CampaignSummary:
     ground_truth: Dict[str, float]
     #: Section name -> section ``to_dict()`` (see ``SECTION_KEYS``).
     sections: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: ``Telemetry.snapshot()`` of the run ({} when telemetry was off).
+    #: JSON-native, so it ships across the pool's summary channel and
+    #: the runner can merge worker registries deterministically.
+    telemetry: Dict[str, Any] = field(default_factory=dict)
     format_version: int = SUMMARY_FORMAT_VERSION
 
     # -- convenience accessors -------------------------------------------------
@@ -109,6 +114,7 @@ class CampaignSummary:
             "config": self.config,
             "ground_truth": self.ground_truth,
             "sections": self.sections,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -124,6 +130,7 @@ class CampaignSummary:
             config=data["config"],
             ground_truth=data["ground_truth"],
             sections=data["sections"],
+            telemetry=data.get("telemetry", {}),
             format_version=data["format_version"],
         )
 
@@ -134,6 +141,7 @@ class CampaignSummary:
             config=result.config.to_dict(),
             ground_truth=dict(result.ground_truth),
             sections=result.report.to_dict(),
+            telemetry=dict(result.telemetry),
         )
 
 

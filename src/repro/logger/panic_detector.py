@@ -14,6 +14,7 @@ from typing import Deque
 
 from repro.core.records import BootRecord, PanicRecord, wire_time
 from repro.logger.heartbeat import BeatsFile
+from repro.observability.telemetry import current_telemetry
 from repro.logger.logfile import LogStorage
 from repro.symbian.active import PRIORITY_HIGH, CActive, CActiveScheduler
 from repro.symbian.kernel import PanicEvent
@@ -38,6 +39,15 @@ class PanicDetector(CActive):
         self._rdebug = rdebug
         self._queue: Deque[PanicEvent] = deque()
         self.panics_recorded = 0
+        tel = current_telemetry()
+        self._recorded_series = (
+            tel.registry.counter(
+                "logger.panics_recorded_total",
+                help="panic records written by the Panic Detector",
+            ).series()
+            if tel.metrics
+            else None
+        )
         rdebug.register(self._on_notification)
         self._issue()
 
@@ -68,6 +78,8 @@ class PanicDetector(CActive):
                 )
             )
             self.panics_recorded += 1
+            if self._recorded_series is not None:
+                self._recorded_series.value += 1.0
         self._issue()
 
     def do_cancel(self) -> None:

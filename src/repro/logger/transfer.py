@@ -32,6 +32,7 @@ from dataclasses import dataclass, fields
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import ReproError
+from repro.observability.telemetry import current_telemetry
 from repro.logger.logfile import (
     LogEntry,
     LogStorage,
@@ -157,6 +158,14 @@ class CollectionServer:
 
     def _deliver_with_retry(self, batch: TransferBatch) -> bool:
         delay = self._backoff_base
+        tel = current_telemetry()
+        dropped = (
+            tel.registry.counter(
+                "dropped_total", help="data discarded at except-and-continue sites"
+            )
+            if tel.metrics
+            else None
+        )
         for attempt in range(self._max_attempts):
             if attempt:
                 self.stats.retries += 1
@@ -166,7 +175,17 @@ class CollectionServer:
                 self._link.deliver(batch, self._receive)
                 return True
             except TransferError:
+                # The attempt's payload went nowhere; make the swallow
+                # visible before the retry (or the give-up) happens.
+                if dropped is not None:
+                    dropped.inc(site="transfer.delivery_attempt")
                 continue
+        if dropped is not None:
+            # Every attempt failed: the whole batch is withheld until
+            # the next sync cycle catches the cursor up.
+            dropped.inc(
+                float(len(batch.entries)), site="transfer.sync_exhausted"
+            )
         return False
 
     # -- reconciliation (server side of the link) ---------------------------------
@@ -209,6 +228,29 @@ class CollectionServer:
             batch = pending.pop(min(ready))
             self.stats.reassembled_batches += 1
             self._receive(batch)
+
+    # -- telemetry -----------------------------------------------------------------
+
+    def sample_metrics(self, registry) -> None:
+        """Dump the transfer protocol's lifetime stats into ``registry``.
+
+        Called once at campaign end (the server outlives every power
+        cycle, so sampling beats per-sync increments on the hot path).
+        """
+        registry.counter(
+            "transfer.syncs_total", help="sync attempts across the fleet"
+        ).series().value += float(self.syncs)
+        registry.counter(
+            "transfer.entries_collected_total",
+            help="log entries applied by the collection server",
+        ).series().value += float(self.total_lines)
+        stats = self.stats.to_dict()
+        counter = registry.counter(
+            "transfer.protocol_total",
+            help="transfer protocol events (retries, backoff, reassembly)",
+        )
+        for name, value in stats.items():
+            counter.series(event=name).value += float(value)
 
     # -- views --------------------------------------------------------------------
 

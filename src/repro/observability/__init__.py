@@ -1,0 +1,62 @@
+"""Telemetry for the reproduction's own pipeline.
+
+The paper's contribution is instrumentation of a running phone fleet;
+this package instruments the *reproduction* the same way — a metrics
+registry (labeled counters, gauges, histograms — mergeable across
+pooled sweep workers), a hierarchical span tracer stamping both sim
+time and wall time, and exporters: a JSON snapshot embedded in
+:class:`~repro.experiments.summary.CampaignSummary`, Chrome
+``trace_event`` JSON for ``chrome://tracing``/Perfetto (the ``repro
+trace`` subcommand), and a plain-text hotspot table.
+
+Capture is off by default and costs one branch per instrumented site
+when disabled; see :mod:`repro.observability.telemetry` for the levels
+and the installation protocol.
+"""
+
+from repro.observability.export import (
+    chrome_trace,
+    hotspot_summary,
+    render_hotspots,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from repro.observability.telemetry import (
+    TELEMETRY_LEVELS,
+    TELEMETRY_METRICS,
+    TELEMETRY_OFF,
+    TELEMETRY_TRACE,
+    Telemetry,
+    current_telemetry,
+    install_telemetry,
+)
+from repro.observability.tracer import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_registries",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "TELEMETRY_LEVELS",
+    "TELEMETRY_METRICS",
+    "TELEMETRY_OFF",
+    "TELEMETRY_TRACE",
+    "current_telemetry",
+    "install_telemetry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "hotspot_summary",
+    "render_hotspots",
+]

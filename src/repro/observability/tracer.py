@@ -1,0 +1,221 @@
+"""Hierarchical span tracing with dual (sim, wall) timestamps.
+
+A span is one named region of work.  Every span carries two clocks:
+
+* **sim time** — the deterministic virtual clock of the campaign being
+  traced.  Two runs with the same seed produce the *identical* sim-time
+  span tree, which is what the determinism tests pin.
+* **wall time** — ``time.perf_counter`` at open/close, which is what
+  the hotspot summary and the perf story are about.
+
+The tracer keeps an explicit open-span stack (the simulation is
+single-threaded), so nesting needs no context-vars machinery; spans
+record their parent at open time and the finished list preserves
+completion order.  Instant events (a panic, an injected fault) are
+zero-duration marks hanging off the same stack.
+
+The sim clock is *bound late*: the tracer starts against a zero clock
+and :meth:`SpanTracer.bind_clock` points it at the fleet's simulator
+once that exists, so campaign-level spans opened before the simulator
+is built still stamp correctly afterwards.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanTracer"]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Span:
+    """One traced region; ``sim_*`` in virtual seconds, ``wall_*`` in
+    :func:`time.perf_counter` seconds."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "track",
+        "args",
+        "sim_start",
+        "sim_end",
+        "wall_start",
+        "wall_end",
+        "parent",
+        "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        track: str,
+        args: Optional[Dict[str, Any]],
+        sim_start: float,
+        wall_start: float,
+        parent: Optional["Span"],
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.track = track
+        self.args = args
+        self.sim_start = sim_start
+        self.sim_end = sim_start
+        self.wall_start = wall_start
+        self.wall_end = wall_start
+        self.parent = parent
+        self.children: List["Span"] = []
+
+    @property
+    def sim_duration(self) -> float:
+        return self.sim_end - self.sim_start
+
+    @property
+    def wall_duration(self) -> float:
+        return self.wall_end - self.wall_start
+
+    @property
+    def instant(self) -> bool:
+        """Whether this is a zero-duration mark (closed at open time)."""
+        return self.wall_end == self.wall_start and not self.children
+
+    def sim_tree(self) -> Dict[str, Any]:
+        """Deterministic nested view: names, categories, sim times only."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "sim_start": round(self.sim_start, 6),
+            "sim_end": round(self.sim_end, 6),
+            "args": self.args or {},
+            "children": [child.sim_tree() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, sim=[{self.sim_start:.1f}, {self.sim_end:.1f}], "
+            f"wall={self.wall_duration * 1000.0:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class SpanTracer:
+    """Records a forest of spans for one campaign (or one sweep)."""
+
+    def __init__(self, sim_clock: Optional[Callable[[], float]] = None) -> None:
+        self._sim_clock = sim_clock if sim_clock is not None else _zero_clock
+        self._stack: List[Span] = []
+        self.roots: List[Span] = []
+        #: Every finished span, in completion order.
+        self.finished: List[Span] = []
+        #: Hard cap so a runaway trace cannot exhaust memory; beyond it
+        #: new spans are counted, not stored.
+        self.max_spans = 1_000_000
+        self.dropped_spans = 0
+
+    def bind_clock(self, sim_clock: Callable[[], float]) -> None:
+        """Point the tracer at the live simulator's clock."""
+        self._sim_clock = sim_clock
+
+    # -- recording -----------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "main",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Open a span; pair with :meth:`end`."""
+        span = Span(
+            name,
+            category,
+            track,
+            args,
+            sim_start=self._sim_clock(),
+            wall_start=perf_counter(),
+            parent=self._stack[-1] if self._stack else None,
+        )
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close ``span`` (and anything left open inside it)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.sim_end = self._sim_clock()
+            top.wall_end = perf_counter()
+            self._attach(top)
+            if top is span:
+                break
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "main",
+        **args: Any,
+    ) -> Iterator[Span]:
+        handle = self.begin(name, category, track, args or None)
+        try:
+            yield handle
+        finally:
+            self.end(handle)
+
+    def instant(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "main",
+        **args: Any,
+    ) -> Span:
+        """Record a zero-duration mark at the current (sim, wall) time."""
+        span = Span(
+            name,
+            category,
+            track,
+            args or None,
+            sim_start=self._sim_clock(),
+            wall_start=perf_counter(),
+            parent=self._stack[-1] if self._stack else None,
+        )
+        self._attach(span)
+        return span
+
+    def _attach(self, span: Span) -> None:
+        if len(self.finished) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        if span.parent is not None:
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self.finished.append(span)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def sim_forest(self) -> List[Dict[str, Any]]:
+        """Deterministic sim-time tree of every root span, in order."""
+        return [root.sim_tree() for root in self.roots]
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [span for span in self.finished if span.name == name]
+
+    def __len__(self) -> int:
+        return len(self.finished)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanTracer(finished={len(self.finished)}, "
+            f"open={len(self._stack)}, roots={len(self.roots)})"
+        )

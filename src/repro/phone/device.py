@@ -146,6 +146,10 @@ class SmartPhone:
         self.freeze_count = 0
         self.battery_pull_count = 0
         self.shutdown_counts: Dict[str, int] = {kind: 0 for kind in SHUTDOWN_KINDS}
+        # Event-bus stats folded in from retired runtimes (each power
+        # cycle gets a fresh bus; see bus_stats for the lifetime view).
+        self._bus_publishes = 0
+        self._bus_deliveries = 0
 
         # Listener lists; models register here.
         self.boot_listeners: List[Listener] = []
@@ -215,9 +219,7 @@ class SmartPhone:
             self.storage.truncate_tail()
         self.state = STATE_FROZEN
         self.freeze_count += 1
-        if self.os is not None:
-            self.os.teardown()
-            self.os = None
+        self._retire_os()
         self._app_procs.clear()
         self._activity = None
         del now
@@ -394,15 +396,32 @@ class SmartPhone:
     def _power_down(self, kind: str) -> None:
         self.state = STATE_OFF
         self.battery.power_off(self.sim.now)
-        if self.os is not None:
-            self.os.teardown()
-            self.os = None
+        self._retire_os()
         self.daemon = None
         self._app_procs.clear()
         self._activity = None
         self.shutdown_counts[kind] += 1
         for listener in list(self.shutdown_listeners):
             listener(kind)
+
+    def _retire_os(self) -> None:
+        """Tear down the current runtime, keeping its bus stats."""
+        os = self.os
+        if os is not None:
+            self._bus_publishes += os.bus.publishes
+            self._bus_deliveries += os.bus.deliveries
+            os.teardown()
+            self.os = None
+
+    def bus_stats(self) -> Tuple[int, int]:
+        """Lifetime ``(publishes, deliveries)`` across all power cycles,
+        including the live runtime's bus if the phone is on."""
+        publishes = self._bus_publishes
+        deliveries = self._bus_deliveries
+        if self.os is not None:
+            publishes += self.os.bus.publishes
+            deliveries += self.os.bus.deliveries
+        return publishes, deliveries
 
     def _on_panic(self, event: PanicEvent) -> None:
         """Keep the app registry consistent: a panicking app is gone."""

@@ -18,6 +18,7 @@ from repro.core.rand import RandomStreams
 from repro.logger.daemon import LoggerConfig
 from repro.logger.dexc import DExcLogger, attach_dexc
 from repro.logger.transfer import CollectionServer
+from repro.observability.telemetry import current_telemetry
 from repro.phone.device import SmartPhone
 from repro.phone.faults import FaultModel, FaultModelConfig
 from repro.phone.profiles import UserProfile, make_profile
@@ -88,7 +89,13 @@ class Fleet:
     ) -> None:
         self.config = config if config is not None else FleetConfig()
         self.seed = seed
+        #: The process-current telemetry at construction time; the
+        #: tracer's sim clock binds here so spans and instants recorded
+        #: anywhere in the campaign stamp this fleet's virtual time.
+        self.telemetry = current_telemetry()
         self.sim = Simulator()
+        if self.telemetry.tracing:
+            self.telemetry.tracer.bind_clock(self.sim.clock.read)
         #: Injectable so robustness experiments can route collection
         #: through a faulty transfer link; defaults to a perfect one.
         self.collector = collector if collector is not None else CollectionServer()
@@ -170,8 +177,22 @@ class Fleet:
 
     def sync_all(self) -> None:
         """Ship every phone's new log lines to the collection server."""
-        for instance in self.phones:
-            self.collector.sync(instance.device.storage)
+        tel = self.telemetry
+        if not tel.tracing:
+            for instance in self.phones:
+                self.collector.sync(instance.device.storage)
+            return
+        with tel.tracer.span(
+            "transfer.sync_all", category="transfer", track="transfer"
+        ):
+            for instance in self.phones:
+                with tel.tracer.span(
+                    f"sync {instance.phone_id}",
+                    category="transfer",
+                    track="transfer",
+                ) as span:
+                    shipped = self.collector.sync(instance.device.storage)
+                    span.args = {"entries": shipped}
 
     def dexc_dataset(self) -> Dict[str, List[str]]:
         """phone id -> D_EXC baseline lines (empty unless attach_dexc)."""
@@ -180,6 +201,63 @@ class Fleet:
             for instance in self.phones
             if instance.dexc is not None and instance.dexc.storage.line_count
         }
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def sample_metrics(self, registry) -> None:
+        """Dump fleet-lifetime counters into ``registry``.
+
+        Everything here is sampled once at campaign end from state the
+        simulation maintains anyway (simulator counters, device
+        lifecycle counts, persistent beats files, collection-server
+        stats), so it costs nothing on the event-loop hot path.
+        """
+        sim = self.sim
+        for name, value, help_text in (
+            ("sim.events_fired_total", sim.events_fired, "callbacks executed"),
+            ("sim.events_scheduled_total", sim.events_scheduled, "events scheduled"),
+            ("sim.events_cancelled_total", sim.events_cancelled, "events cancelled"),
+            ("sim.heap_compactions_total", sim.compactions, "heap compaction passes"),
+        ):
+            registry.counter(name, help=help_text).series().value += float(value)
+        freezes = registry.counter(
+            "phone.freezes_total", help="device freezes across the fleet"
+        ).series()
+        boots = registry.counter(
+            "phone.boots_total", help="device boots across the fleet"
+        ).series()
+        panics = registry.counter(
+            "phone.panics_injected_total", help="faults injected as panics"
+        ).series()
+        beats = registry.counter(
+            "logger.heartbeats_written_total",
+            help="heartbeat writes materialized on flash",
+        ).series()
+        reports = registry.counter(
+            "logger.user_reports_total", help="user-perceived failure reports"
+        ).series()
+        shutdowns = registry.counter(
+            "phone.shutdowns_total", help="device shutdowns by kind"
+        )
+        publishes = registry.counter(
+            "bus.publish_total", help="events published on any bus"
+        ).series()
+        deliveries = registry.counter(
+            "bus.delivery_total", help="handler invocations (publish fan-out)"
+        ).series()
+        for instance in self.phones:
+            freezes.value += float(instance.device.freeze_count)
+            boots.value += float(instance.device.boot_count)
+            panics.value += float(instance.faults.panics_injected)
+            beats.value += float(instance.device.beats.writes)
+            reports.value += float(instance.user.reports_filed)
+            bus_publishes, bus_deliveries = instance.device.bus_stats()
+            publishes.value += float(bus_publishes)
+            deliveries.value += float(bus_deliveries)
+            for kind, count in instance.device.shutdown_counts.items():
+                if count:
+                    shutdowns.series(kind=kind).value += float(count)
+        self.collector.sample_metrics(registry)
 
     # -- ground truth for validation ----------------------------------------------------
 

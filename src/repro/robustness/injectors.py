@@ -31,6 +31,7 @@ from repro.experiments.runner import summarize_campaign
 from repro.experiments.summary import CampaignSummary
 from repro.logger.logfile import LogEntry, serialize_entry
 from repro.logger.transfer import TransferBatch, TransferError
+from repro.observability.telemetry import current_telemetry
 from repro.robustness.plan import FaultPlan
 
 #: Character written over a garbled byte (matches the corruption idiom
@@ -88,6 +89,30 @@ class FaultyLink:
         #: Batches withheld to be delivered after a later one (reorder).
         self._held: List[TransferBatch] = []
 
+    def _record_fault(self, layer: str, kind: str, phone_id: str, count: int = 1) -> None:
+        """Mirror one injection into the campaign telemetry.
+
+        Resolved lazily: the link is usually constructed before the
+        harness installs its telemetry, and injections are cold next to
+        the event loop.  Every injected fault becomes a labeled counter
+        increment and (at trace level) a sim-time instant, so drift
+        reports can be joined against the faults that caused them.
+        """
+        tel = current_telemetry()
+        if not tel.metrics:
+            return
+        tel.registry.counter(
+            "robustness.faults_injected_total",
+            help="injected collection-path faults by layer and kind",
+        ).inc(float(count), layer=layer, kind=kind)
+        tel.instant(
+            f"fault {layer}.{kind}",
+            category="robustness",
+            track="faults",
+            phone=phone_id,
+            count=count,
+        )
+
     # -- link protocol ---------------------------------------------------------
 
     def deliver(
@@ -98,6 +123,7 @@ class FaultyLink:
         transfer = self._streams.stream(f"transfer:{batch.phone_id}")
         if plan.sync_failure_rate and transfer.bernoulli(plan.sync_failure_rate):
             self.stats.failed_attempts += 1
+            self._record_fault("transfer", "failed_attempt", batch.phone_id)
             raise TransferError(
                 f"sync of {batch.phone_id} [{batch.start}:{batch.end}) failed"
             )
@@ -106,6 +132,7 @@ class FaultyLink:
             # Withhold: the client gets its ack, but the batch lands
             # only after a later one — the server must reassemble.
             self.stats.withheld_batches += 1
+            self._record_fault("transfer", "withheld_batch", batch.phone_id)
             self._held.append(prepared)
             return
         receive(prepared)
@@ -113,6 +140,7 @@ class FaultyLink:
             plan.duplicate_batch_rate
         ):
             self.stats.duplicated_batches += 1
+            self._record_fault("transfer", "duplicated_batch", batch.phone_id)
             receive(prepared)
         if self._held:
             held, self._held = self._held, []
@@ -146,6 +174,7 @@ class FaultyLink:
         ):
             evict = storage.randint(1, max(1, len(entries) // 4))
             self.stats.evicted_entries += evict
+            self._record_fault("storage", "evicted_entry", phone_id, evict)
             entries = entries[evict:]
         corrupt_band = plan.storage_truncate_rate + plan.storage_garble_rate
         out: List[LogEntry] = []
@@ -155,11 +184,13 @@ class FaultyLink:
                 line = serialize_entry(entry)
                 out.append(line[: storage.randint(3, max(3, len(line) - 1))])
                 self.stats.truncated_entries += 1
+                self._record_fault("storage", "truncated_entry", phone_id)
             elif roll < corrupt_band:
                 line = serialize_entry(entry)
                 index = storage.randint(0, max(len(line) - 1, 0))
                 out.append(line[:index] + GARBLE_CHAR + line[index + 1 :])
                 self.stats.garbled_entries += 1
+                self._record_fault("storage", "garbled_entry", phone_id)
             elif offset:
                 out.append(_shift_entry(entry, offset))
                 self.stats.skewed_entries += 1

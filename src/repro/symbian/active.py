@@ -29,10 +29,15 @@ state (tests crafting stray signals) behaves identically.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from time import perf_counter
+from typing import Dict, List, Optional, Set
 
+from repro.observability.telemetry import current_telemetry
 from repro.symbian.errors import Leave, PanicRequest
 from repro.symbian.panics import E32USER_CBASE_46, E32USER_CBASE_47
+
+#: Bounds of the AO run-latency histogram (wall seconds per ``RunL``).
+AO_RUN_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0)
 
 #: Value a pending request status holds (``KRequestPending``).
 K_REQUEST_PENDING = -2147483647
@@ -175,6 +180,30 @@ class CActiveScheduler:
         self._reg_counter = 0
         self._signals = 0
         self.dispatched = 0
+        # Telemetry: schedulers are recreated every power cycle, so the
+        # registry instruments (shared process-wide) do the cross-cycle
+        # accumulation; per-AO series are cached by name to keep the
+        # dispatch path at one dict lookup.  None when disabled.
+        tel = current_telemetry()
+        if tel.metrics:
+            self._dispatch_counter = tel.registry.counter(
+                "logger.ao_dispatch_total",
+                help="active-object dispatches by AO name",
+            )
+            self._dispatch_series: Dict[str, object] = {}
+        else:
+            self._dispatch_counter = None
+            self._dispatch_series = {}
+        self._run_hist = (
+            tel.registry.histogram(
+                "logger.ao_run_wall_seconds",
+                help="wall-clock RunL duration by AO name (not reproducible)",
+                bounds=AO_RUN_BOUNDS,
+                deterministic=False,
+            )
+            if tel.tracing
+            else None
+        )
 
     # -- registration ----------------------------------------------------
 
@@ -229,11 +258,30 @@ class CActiveScheduler:
         if ao._in_ready:
             self._unmark_ready(ao)
         self.dispatched += 1
+        counter = self._dispatch_counter
+        if counter is not None:
+            series = self._dispatch_series.get(ao.name)
+            if series is None:
+                series = self._dispatch_series[ao.name] = counter.series(
+                    ao=ao.name
+                )
+            series.value += 1.0
+        hist = self._run_hist
+        if hist is None:
+            try:
+                ao.run_l()
+            except Leave as leave:
+                if not ao.run_error(leave.code):
+                    self.error(leave.code, ao)
+            return True
+        started = perf_counter()
         try:
             ao.run_l()
         except Leave as leave:
             if not ao.run_error(leave.code):
                 self.error(leave.code, ao)
+        finally:
+            hist.observe(perf_counter() - started, ao=ao.name)
         return True
 
     def run_until_idle(self, max_dispatches: int = 10_000) -> int:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.events import EventBus
+from repro.observability.telemetry import current_telemetry
 from repro.symbian.cleanup import CTrapCleanup
 from repro.symbian.errors import (
     AccessViolation,
@@ -176,6 +177,26 @@ class KernelExecutive:
         self._processes: Dict[str, Process] = {}
         self.panic_log: List[PanicEvent] = []
         self.reboot_requested = False
+        # Telemetry: kernels are per power cycle, counters accumulate
+        # process-wide.  Panic delivery is cold (thousands per paper
+        # campaign), so the labeled series lookup happens inline.
+        tel = current_telemetry()
+        self._telemetry = tel if tel.metrics else None
+        self._panic_counter = (
+            tel.registry.counter(
+                "kernel.panics_total", help="panics by category and type"
+            )
+            if tel.metrics
+            else None
+        )
+        self._reboot_series = (
+            tel.registry.counter(
+                "kernel.reboot_requests_total",
+                help="kernel-initiated reboot requests",
+            ).series()
+            if tel.metrics
+            else None
+        )
 
     # -- process management ------------------------------------------------
 
@@ -239,16 +260,32 @@ class KernelExecutive:
             reason=reason,
         )
         self.panic_log.append(event)
+        tel = self._telemetry
+        if tel is not None:
+            self._panic_counter.inc(
+                category=panic_id.category, ptype=str(panic_id.ptype)
+            )
+            tel.instant(
+                f"panic {panic_id.category} {panic_id.ptype}",
+                category="kernel",
+                track="panics",
+                process=process.name,
+                critical=process.critical,
+            )
         self.bus.publish(TOPIC_PANIC, event)
         self.terminate_process(process)
         if process.critical:
             self.reboot_requested = True
+            if self._reboot_series is not None:
+                self._reboot_series.value += 1.0
             self.bus.publish(TOPIC_REBOOT_REQUEST, event)
         raise PanicRaised(panic_id, process.name, reason)
 
     def request_reboot(self, reason: str = "") -> None:
         """Kernel-initiated reboot without a panic (e.g. watchdog)."""
         self.reboot_requested = True
+        if self._reboot_series is not None:
+            self._reboot_series.value += 1.0
         self.bus.publish(TOPIC_REBOOT_REQUEST, reason)
 
     @property

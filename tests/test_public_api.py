@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.robustness",
+    "repro.observability",
 ]
 
 MODULES = [
@@ -94,6 +95,10 @@ MODULES = [
     "repro.robustness.plan",
     "repro.robustness.injectors",
     "repro.robustness.experiment",
+    "repro.observability.metrics",
+    "repro.observability.tracer",
+    "repro.observability.telemetry",
+    "repro.observability.export",
 ]
 
 
