@@ -15,7 +15,9 @@ workstation) and reproduces the paper's evaluation artifacts:
 * Table 3 — panic-activity relationship (:mod:`activity`);
 * Table 4 and Figure 6 — panic-running-applications relationship
   (:mod:`runapps`);
-* the full text report combining all of them (:mod:`report`).
+* the full text report combining all of them (:mod:`report`);
+* mergeable streaming accumulators reproducing every section with
+  constant memory for sharded mega-fleet runs (:mod:`streaming`).
 """
 
 from repro.analysis.activity import ActivityTable, compute_activity_table
@@ -59,6 +61,7 @@ from repro.analysis.shutdowns import (
     ShutdownStudy,
     compute_shutdown_study,
 )
+from repro.analysis.streaming import CampaignAccumulator, PhoneAccumulator
 
 __all__ = [
     "Dataset",
@@ -101,4 +104,6 @@ __all__ = [
     "compute_running_apps",
     "ReproductionReport",
     "build_report",
+    "CampaignAccumulator",
+    "PhoneAccumulator",
 ]

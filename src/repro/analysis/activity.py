@@ -153,8 +153,7 @@ def compute_activity_table(
     if result is None:
         result = coalesce(dataset, hl_events_from_study(study), window)
     intervals_cache: Dict[str, Dict[str, List[Interval]]] = {}
-    counts: Dict[Tuple[str, str], int] = {}
-    total = 0
+    pairs: List[Tuple[str, str]] = []
     for match in result.matches:
         log = dataset.logs.get(match.phone_id)
         if log is None:
@@ -162,7 +161,23 @@ def compute_activity_table(
         if match.phone_id not in intervals_cache:
             intervals_cache[match.phone_id] = activity_intervals(log)
         activity = activity_at(intervals_cache[match.phone_id], match.panic.time)
-        key = (activity, match.panic.category)
+        pairs.append((activity, match.panic.category))
+    return activity_table_from_pairs(pairs)
+
+
+def activity_table_from_pairs(
+    pairs: Sequence[Tuple[str, str]],
+) -> ActivityTable:
+    """Table 3 from (activity at panic time, panic category) pairs.
+
+    The aggregation core shared with the streaming accumulators.  Pass
+    pairs in the coalescence match order: the row-total float folds
+    follow the cells' first-appearance order, so the sequence order is
+    part of the bit-identity contract.
+    """
+    counts: Dict[Tuple[str, str], int] = {}
+    total = 0
+    for key in pairs:
         counts[key] = counts.get(key, 0) + 1
         total += 1
     cells = {

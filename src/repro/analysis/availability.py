@@ -95,6 +95,22 @@ def compute_availability(
         phone_id: log.observed_hours(dataset.end_time)
         for phone_id, log in dataset.logs.items()
     }
+    return availability_from_observations(observed, study, threshold)
+
+
+def availability_from_observations(
+    observed: Dict[str, float],
+    study: ShutdownStudy,
+    threshold: float = SELF_SHUTDOWN_THRESHOLD,
+) -> AvailabilityStats:
+    """Availability figures from per-phone observed hours plus a study.
+
+    This is the aggregation core shared by the batch path and the
+    streaming accumulators.  ``observed`` must map *every* phone in the
+    dataset, in the dataset's (lexicographic) phone order: the total
+    and the per-phone MTBF means are float folds whose order follows
+    the mapping's insertion order.
+    """
     total_hours = sum(observed.values())
     freeze_counts: Dict[str, int] = {}
     for freeze in study.freezes:
@@ -107,7 +123,7 @@ def compute_availability(
     self_total = sum(self_counts.values())
 
     return AvailabilityStats(
-        phone_count=dataset.phone_count,
+        phone_count=len(observed),
         observed_hours_total=total_hours,
         freeze_count=freeze_total,
         self_shutdown_count=self_total,

@@ -12,7 +12,7 @@ belong to bursts of each size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.ingest import Dataset
 from repro.core.records import PanicRecord
@@ -83,17 +83,49 @@ class BurstStats:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-native snapshot of Figure 3."""
-        return {
-            "gap": self.gap,
-            "burst_count": len(self.bursts),
-            "total_panics": self.total_panics,
-            "cascade_panic_percent": self.cascade_panic_percent,
-            "max_burst_size": self.max_burst_size,
-            "size_distribution": [
-                [size, percent]
-                for size, percent in self.size_distribution().items()
-            ],
-        }
+        return burst_sizes_summary([b.size for b in self.bursts], self.gap)
+
+
+def burst_sizes_summary(sizes: List[int], gap: float) -> Dict[str, object]:
+    """The Figure 3 snapshot from cascade sizes alone.
+
+    Every figure in the section is a function of the multiset of burst
+    sizes (counts and integer-ratio percentages, output sorted by
+    size), so streaming accumulators can carry just the sizes and fold
+    them in any order.
+    """
+    total = sum(sizes)
+    counts: Dict[int, int] = {}
+    for size in sizes:
+        counts[size] = counts.get(size, 0) + size
+    in_cascades = sum(size for size in sizes if size > 1)
+    return {
+        "gap": gap,
+        "burst_count": len(sizes),
+        "total_panics": total,
+        "cascade_panic_percent": (100.0 * in_cascades / total) if total else 0.0,
+        "max_burst_size": max(sizes, default=0),
+        "size_distribution": [
+            [size, 100.0 * n / total] for size, n in sorted(counts.items())
+        ],
+    }
+
+
+def phone_bursts(
+    phone_id: str, ordered_panics: Sequence[PanicRecord], gap: float
+) -> List[Burst]:
+    """Group one phone's time-ordered panics into cascades — the
+    per-phone core shared by the batch path and streaming extraction."""
+    bursts: List[Burst] = []
+    current: List[PanicRecord] = []
+    for panic in ordered_panics:
+        if current and panic.time - current[-1].time > gap:
+            bursts.append(Burst(phone_id, tuple(current)))
+            current = []
+        current.append(panic)
+    if current:
+        bursts.append(Burst(phone_id, tuple(current)))
+    return bursts
 
 
 def compute_bursts(dataset: Dataset, gap: float = DEFAULT_BURST_GAP) -> BurstStats:
@@ -103,13 +135,6 @@ def compute_bursts(dataset: Dataset, gap: float = DEFAULT_BURST_GAP) -> BurstSta
     bursts: List[Burst] = []
     for phone_id, log in sorted(dataset.logs.items()):
         ordered = sorted(log.panics, key=lambda p: p.time)
-        current: List[PanicRecord] = []
-        for panic in ordered:
-            if current and panic.time - current[-1].time > gap:
-                bursts.append(Burst(phone_id, tuple(current)))
-                current = []
-            current.append(panic)
-        if current:
-            bursts.append(Burst(phone_id, tuple(current)))
+        bursts.extend(phone_bursts(phone_id, ordered, gap))
     bursts.sort(key=lambda b: b.start)
     return BurstStats(bursts=bursts, gap=gap)

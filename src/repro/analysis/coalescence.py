@@ -105,6 +105,50 @@ def hl_events_from_study(
     return events
 
 
+def phone_hl_events(
+    phone_id: str,
+    freezes: Sequence,
+    shutdowns: Sequence,
+    threshold: float = SELF_SHUTDOWN_THRESHOLD,
+    include_user_shutdowns: bool = False,
+) -> List[HlEvent]:
+    """One phone's HL events, time-sorted — the per-phone core of
+    :func:`hl_events_from_study`.
+
+    ``freezes``/``shutdowns`` are the phone's own
+    :class:`~repro.analysis.shutdowns.FreezeEvent` /
+    :class:`~repro.analysis.shutdowns.ShutdownEvent` lists in time
+    order.  Freezes are listed before shutdowns at equal times, exactly
+    like the global builder's stable sort, so per-phone matching in
+    shard workers reproduces the monolithic coalescence bit-for-bit.
+    """
+    events = [
+        HlEvent(phone_id, freeze.est_time, HL_FREEZE) for freeze in freezes
+    ]
+    for shutdown in shutdowns:
+        if shutdown.is_self_shutdown(threshold):
+            events.append(HlEvent(phone_id, shutdown.at, HL_SELF_SHUTDOWN))
+        elif include_user_shutdowns:
+            events.append(HlEvent(phone_id, shutdown.at, HL_USER_SHUTDOWN))
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def matched_event(
+    events: List[HlEvent], time: float, window: float
+) -> Optional[HlEvent]:
+    """The HL event ``time`` coalesces with, or ``None``.
+
+    ``events`` is one phone's time-sorted HL event list.  Shared by
+    :func:`coalesce` and the streaming extraction so the two paths can
+    never disagree on a match.
+    """
+    nearest = nearest_event(events, time)
+    if nearest is not None and abs(nearest.time - time) <= window:
+        return nearest
+    return None
+
+
 def coalesce(
     dataset: Dataset,
     hl_events: Sequence[HlEvent],
@@ -130,8 +174,8 @@ def coalesce(
 
     for phone_id, panic in dataset.all_panics():
         events = by_phone.get(phone_id, [])
-        nearest = _nearest_event(events, panic.time)
-        if nearest is not None and abs(nearest.time - panic.time) <= window:
+        nearest = matched_event(events, panic.time, window)
+        if nearest is not None:
             matches.append(Match(phone_id, panic, nearest))
             matched_hl.add(id(nearest))
         else:
@@ -163,7 +207,8 @@ def window_sweep(
     ]
 
 
-def _nearest_event(events: List[HlEvent], time: float) -> Optional[HlEvent]:
+def nearest_event(events: List[HlEvent], time: float) -> Optional[HlEvent]:
+    """Nearest event to ``time`` in a time-sorted list (ties: earlier wins)."""
     if not events:
         return None
     times = [e.time for e in events]

@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.coalescence import (
     DEFAULT_WINDOW,
     HL_FREEZE,
-    HL_SELF_SHUTDOWN,
     CoalescenceResult,
     HlEvent,
     coalesce,
@@ -118,6 +117,39 @@ class HlRelationship:
         }
 
 
+def rows_from_outcomes(
+    outcomes: Sequence[Tuple[str, Optional[str]]],
+) -> List[CategoryHlRow]:
+    """Figure 5 rows from (category, matched HL kind or ``None``) pairs.
+
+    The aggregation core shared with the streaming accumulators.  Pass
+    all matched panics first (in match order) and then the isolated
+    ones: the sort on total is stable, so row order for tied totals
+    follows first appearance in exactly that sequence — the batch
+    path's tie-breaking.
+    """
+    per_category: Dict[str, CategoryHlRow] = {}
+
+    def row_for(category: str) -> CategoryHlRow:
+        if category not in per_category:
+            per_category[category] = CategoryHlRow(category, 0, 0, 0, 0)
+        return per_category[category]
+
+    for category, kind in outcomes:
+        row = row_for(category)
+        row.total += 1
+        if kind is None:
+            row.isolated += 1
+        elif kind == HL_FREEZE:
+            row.freeze_related += 1
+        else:
+            # HL_SELF_SHUTDOWN, and user-shutdown matches from the
+            # robustness variant; count the latter as
+            # self-shutdown-side for the split.
+            row.self_shutdown_related += 1
+    return sorted(per_category.values(), key=lambda r: -r.total)
+
+
 def compute_hl_relationship(
     dataset: Dataset,
     study: ShutdownStudy,
@@ -129,30 +161,13 @@ def compute_hl_relationship(
         hl_events = hl_events_from_study(study)
     result = coalesce(dataset, hl_events, window)
 
-    per_category: Dict[str, CategoryHlRow] = {}
-
-    def row_for(category: str) -> CategoryHlRow:
-        if category not in per_category:
-            per_category[category] = CategoryHlRow(category, 0, 0, 0, 0)
-        return per_category[category]
-
-    for match in result.matches:
-        row = row_for(match.panic.category)
-        row.total += 1
-        if match.hl_event.kind == HL_FREEZE:
-            row.freeze_related += 1
-        elif match.hl_event.kind == HL_SELF_SHUTDOWN:
-            row.self_shutdown_related += 1
-        else:
-            # user-shutdown matches only appear in the robustness
-            # variant; count them as self-shutdown-side for the split.
-            row.self_shutdown_related += 1
-    for _phone_id, panic in result.isolated_panics:
-        row = row_for(panic.category)
-        row.total += 1
-        row.isolated += 1
-
-    rows = sorted(per_category.values(), key=lambda r: -r.total)
+    outcomes: List[Tuple[str, Optional[str]]] = [
+        (match.panic.category, match.hl_event.kind) for match in result.matches
+    ]
+    outcomes.extend(
+        (panic.category, None) for _phone_id, panic in result.isolated_panics
+    )
+    rows = rows_from_outcomes(outcomes)
 
     all_events = hl_events_from_study(study, include_user_shutdowns=True)
     all_result = coalesce(dataset, all_events, window)

@@ -85,6 +85,26 @@ class IngestReport:
     def clean(self) -> bool:
         return self.quarantined == 0
 
+    def merge(self, other: "IngestReport") -> "IngestReport":
+        """Combine two quarantine accounts (e.g. from two shards).
+
+        Counts add exactly — no line is ever dropped from the
+        accounting — and samples keep the first
+        :data:`MAX_QUARANTINE_SAMPLES` in merge order.
+        """
+        by_class = dict(self.by_class)
+        for cls, count in other.by_class.items():
+            by_class[cls] = by_class.get(cls, 0) + count
+        by_phone = dict(self.by_phone)
+        for phone_id, count in other.by_phone.items():
+            by_phone[phone_id] = by_phone.get(phone_id, 0) + count
+        return IngestReport(
+            quarantined=self.quarantined + other.quarantined,
+            by_class=by_class,
+            by_phone=by_phone,
+            samples=(self.samples + other.samples)[:MAX_QUARANTINE_SAMPLES],
+        )
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "quarantined": self.quarantined,
@@ -92,6 +112,26 @@ class IngestReport:
             "by_phone": dict(sorted(self.by_phone.items())),
             "samples": list(self.samples),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "IngestReport":
+        """Inverse of :meth:`to_dict` (shard results ride through JSON)."""
+        return cls(
+            quarantined=int(payload["quarantined"]),
+            by_class=dict(payload["by_class"]),
+            by_phone=dict(payload["by_phone"]),
+            samples=list(payload["samples"]),
+        )
+
+
+def observation_hours(start_time: float, end_time: float) -> float:
+    """Wall-clock observation hours between enrollment and campaign end.
+
+    Shared by :meth:`PhoneLog.observed_hours` and the streaming
+    accumulators (which carry only ``start_time`` per phone), so the
+    two paths compute the identical float.
+    """
+    return max(end_time - start_time, 0.0) / 3600.0
 
 
 @dataclass
@@ -148,7 +188,7 @@ class PhoneLog:
 
     def observed_hours(self, end_time: float) -> float:
         """Wall-clock observation hours, enrollment to campaign end."""
-        return max(end_time - self.start_time, 0.0) / 3600.0
+        return observation_hours(self.start_time, end_time)
 
 
 class Dataset:
@@ -214,6 +254,10 @@ class Dataset:
         latest = 0.0
         for phone_id in sorted(records_by_phone):
             log = PhoneLog(phone_id)
+
+            def set_enroll(record, log=log):
+                log.enroll = record
+
             sinks = {
                 BootRecord: log.boots.append,
                 PanicRecord: log.panics.append,
@@ -221,23 +265,33 @@ class Dataset:
                 RunningAppsRecord: log.runapps.append,
                 PowerRecord: log.power.append,
                 UserReportRecord: log.user_reports.append,
+                EnrollRecord: set_enroll,
             }
+
+            def resolve_sink(record_type, sinks=sinks, phone_id=phone_id):
+                # Exact-type dispatch missed: the record is a subclass
+                # of one of the stream types.  Resolve it explicitly by
+                # walking the MRO to the nearest registered base and
+                # cache the resolution so each subclass pays once.
+                for base in record_type.__mro__[1:]:
+                    sink = sinks.get(base)
+                    if sink is not None:
+                        sinks[record_type] = sink
+                        return sink
+                raise AnalysisError(
+                    f"phone {phone_id!r}: unknown record type "
+                    f"{record_type.__name__!r} (not a subclass of any "
+                    "ingestible record)"
+                )
+
             get_sink = sinks.get
             for record in records_by_phone[phone_id]:
                 if track_latest and record.time > latest:
                     latest = record.time
                 sink = get_sink(type(record))
-                if sink is not None:
-                    sink(record)
-                elif isinstance(record, EnrollRecord):
-                    log.enroll = record
-                else:
-                    # Subclass of a known stream type (exact-type
-                    # dispatch missed it) — route by isinstance.
-                    for base, sink in sinks.items():
-                        if isinstance(record, base):
-                            sink(record)
-                            break
+                if sink is None:
+                    sink = resolve_sink(type(record))
+                sink(record)
             if log.record_count:
                 logs[phone_id] = log
         if not logs:

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.coalescence import DEFAULT_WINDOW
 from repro.analysis.ingest import Dataset
-from repro.core.records import UserReportRecord
 
 
 @dataclass
@@ -74,6 +73,80 @@ class OutputFailureStats:
         }
 
 
+@dataclass(frozen=True)
+class PhoneReportPart:
+    """One phone's contribution to the output-failure section — the
+    per-phone unit streaming accumulators carry between shard workers
+    and the merge step."""
+
+    #: Report kinds, in log order.
+    kinds: Tuple[str, ...]
+    #: Reports with a panic within the window.
+    correlated: int
+    #: Observed hours (enrollment to campaign end).
+    hours: float
+    #: Union length of the +-window intervals around the phone's panics.
+    covered_seconds: float
+
+
+def phone_report_part(
+    log, end_time: float, window: float
+) -> PhoneReportPart:
+    """Extract one phone's :class:`PhoneReportPart` from its log."""
+    panic_times = [p.time for p in log.panics]
+    correlated = 0
+    for report in log.user_reports:
+        if has_time_within(panic_times, report.time, window):
+            correlated += 1
+    return PhoneReportPart(
+        kinds=tuple(report.kind for report in log.user_reports),
+        correlated=correlated,
+        hours=log.observed_hours(end_time),
+        covered_seconds=covered_seconds(sorted(panic_times), window),
+    )
+
+
+def stats_from_phone_parts(
+    parts: Sequence[PhoneReportPart], window: float
+) -> OutputFailureStats:
+    """Fold per-phone parts into :class:`OutputFailureStats`.
+
+    The aggregation core shared by the batch path and the streaming
+    accumulators.  Pass parts in the dataset's (lexicographic) phone
+    order: the observed-hours total and the chance baseline are float
+    folds in that order.
+    """
+    by_kind: Dict[str, int] = {}
+    report_count = 0
+    correlated = 0
+    for part in parts:
+        for kind in part.kinds:
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        report_count += len(part.kinds)
+        correlated += part.correlated
+    total_hours = sum(part.hours for part in parts)
+    if total_hours <= 0:
+        chance = 0.0
+    else:
+        weighted = 0.0
+        for part in parts:
+            if part.hours <= 0:
+                continue
+            fraction = min(part.covered_seconds / (part.hours * 3600.0), 1.0)
+            weighted += fraction * part.hours
+        chance = weighted / total_hours
+    return OutputFailureStats(
+        report_count=report_count,
+        reports_by_kind=dict(sorted(by_kind.items())),
+        observed_hours=total_hours,
+        panic_correlated_fraction=(
+            (correlated / report_count) if report_count else 0.0
+        ),
+        chance_fraction=chance,
+        window=window,
+    )
+
+
 def compute_output_failures(
     dataset: Dataset,
     window: float = DEFAULT_WINDOW,
@@ -81,31 +154,15 @@ def compute_output_failures(
     """Aggregate user reports and correlate them with panics."""
     if window <= 0:
         raise ValueError(f"window must be positive, got {window}")
-    reports: List[Tuple[str, UserReportRecord]] = []
-    by_kind: Dict[str, int] = {}
-    for phone_id, log in dataset.logs.items():
-        for report in log.user_reports:
-            reports.append((phone_id, report))
-            by_kind[report.kind] = by_kind.get(report.kind, 0) + 1
-
-    correlated = 0
-    for phone_id, report in reports:
-        panic_times = [p.time for p in dataset.logs[phone_id].panics]
-        if _has_time_within(panic_times, report.time, window):
-            correlated += 1
-
-    chance = _chance_fraction(dataset, window)
-    return OutputFailureStats(
-        report_count=len(reports),
-        reports_by_kind=dict(sorted(by_kind.items())),
-        observed_hours=dataset.total_observed_hours(),
-        panic_correlated_fraction=(correlated / len(reports)) if reports else 0.0,
-        chance_fraction=chance,
-        window=window,
-    )
+    parts = [
+        phone_report_part(log, dataset.end_time, window)
+        for log in dataset.logs.values()
+    ]
+    return stats_from_phone_parts(parts, window)
 
 
-def _has_time_within(sorted_times: List[float], t: float, window: float) -> bool:
+def has_time_within(sorted_times: List[float], t: float, window: float) -> bool:
+    """Whether any of ``sorted_times`` lies within ``window`` of ``t``."""
     index = bisect.bisect_left(sorted_times, t)
     for candidate in (index - 1, index):
         if 0 <= candidate < len(sorted_times):
@@ -114,24 +171,7 @@ def _has_time_within(sorted_times: List[float], t: float, window: float) -> bool
     return False
 
 
-def _chance_fraction(dataset: Dataset, window: float) -> float:
-    """Probability a uniformly random instant falls within ``window`` of
-    a panic, averaged over phones weighted by observation time."""
-    total_hours = dataset.total_observed_hours()
-    if total_hours <= 0:
-        return 0.0
-    weighted = 0.0
-    for log in dataset.logs.values():
-        hours = log.observed_hours(dataset.end_time)
-        if hours <= 0:
-            continue
-        covered = _covered_seconds(sorted(p.time for p in log.panics), window)
-        fraction = min(covered / (hours * 3600.0), 1.0)
-        weighted += fraction * hours
-    return weighted / total_hours
-
-
-def _covered_seconds(sorted_times: List[float], window: float) -> float:
+def covered_seconds(sorted_times: List[float], window: float) -> float:
     """Total length of the union of +-window intervals around panics."""
     covered = 0.0
     interval_start: Optional[float] = None

@@ -91,6 +91,17 @@ def compute_panic_table(dataset: Dataset) -> PanicTable:
     for _phone_id, panic in dataset.all_panics():
         pid = PanicId(panic.category, panic.ptype)
         counts[pid] = counts.get(pid, 0) + 1
+    return panic_table_from_counts(counts)
+
+
+def panic_table_from_counts(counts: Dict[PanicId, int]) -> PanicTable:
+    """Assemble Table 2 from (category, type) counts.
+
+    The aggregation core shared with the streaming accumulators: the
+    row sort key is a total order over (category total, category,
+    count, type), so any insertion order of ``counts`` produces the
+    same table.
+    """
     total = sum(counts.values())
     rows = [
         PanicRow(

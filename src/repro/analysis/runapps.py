@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.coalescence import (
     DEFAULT_WINDOW,
@@ -111,11 +111,7 @@ def compute_running_apps(
         elif match.hl_event.kind == HL_SELF_SHUTDOWN:
             outcome_by_panic[id(match.panic)] = OUTCOME_SELF_SHUTDOWN
 
-    count_hist: Dict[int, int] = {}
-    table_counts: Dict[Tuple[str, str], Dict[str, int]] = {}
-    app_counts: Dict[str, int] = {}
-    total = 0
-
+    joins: List[Tuple[str, str, Tuple[str, ...]]] = []
     times_by_phone: Dict[str, List[float]] = {}
     for phone_id, panic in dataset.all_panics():
         log = dataset.logs[phone_id]
@@ -124,10 +120,30 @@ def compute_running_apps(
             times = [snap.time for snap in log.runapps]
             times_by_phone[phone_id] = times
         apps = running_apps_at(log, panic.time, _times=times)
+        outcome = outcome_by_panic.get(id(panic), OUTCOME_NONE)
+        joins.append((panic.category, outcome, apps))
+    return runapps_stats_from_joins(joins)
+
+
+def runapps_stats_from_joins(
+    joins: Sequence[Tuple[str, str, Tuple[str, ...]]],
+) -> RunningAppsStats:
+    """Figure 6 + Table 4 from (category, HL outcome, apps) joins.
+
+    The aggregation core shared with the streaming accumulators; pass
+    joins in the dataset's global panic-time order (the batch path's
+    ``all_panics`` order) so dict insertion orders match the batch
+    result exactly.
+    """
+    count_hist: Dict[int, int] = {}
+    table_counts: Dict[Tuple[str, str], Dict[str, int]] = {}
+    app_counts: Dict[str, int] = {}
+    total = 0
+
+    for category, outcome, apps in joins:
         total += 1
         count_hist[len(apps)] = count_hist.get(len(apps), 0) + 1
-        outcome = outcome_by_panic.get(id(panic), OUTCOME_NONE)
-        key = (panic.category, outcome)
+        key = (category, outcome)
         cell = table_counts.setdefault(key, {})
         for app in apps:
             cell[app] = cell.get(app, 0) + 1

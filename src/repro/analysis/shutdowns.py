@@ -171,38 +171,83 @@ class ShutdownStudy:
         }
 
 
-def compute_shutdown_study(dataset: Dataset) -> ShutdownStudy:
-    """Classify every boot record in the dataset."""
+@dataclass(frozen=True)
+class PhoneBootClassification:
+    """One phone's boot records classified — the per-phone core of
+    :func:`compute_shutdown_study`, and the unit streaming accumulators
+    carry between shard workers and the merge step."""
+
+    phone_id: str
+    freezes: Tuple[FreezeEvent, ...]
+    shutdowns: Tuple[ShutdownEvent, ...]
+    lowbt_count: int
+    maoff_count: int
+    first_boot_count: int
+
+
+def classify_boots(phone_id: str, boots: Sequence) -> PhoneBootClassification:
+    """Classify one phone's boot records (in log order)."""
     freezes: List[FreezeEvent] = []
     shutdowns: List[ShutdownEvent] = []
     lowbt = 0
     maoff = 0
     first_boots = 0
-    for phone_id, log in dataset.logs.items():
-        for boot in log.boots:
-            kind = boot.last_beat_kind
-            if kind == BEAT_NONE:
-                first_boots += 1
-            elif kind == BEAT_ALIVE:
-                freezes.append(
-                    FreezeEvent(
-                        phone_id=phone_id,
-                        detected_at=boot.time,
-                        last_alive=boot.last_beat_time,
-                    )
+    for boot in boots:
+        kind = boot.last_beat_kind
+        if kind == BEAT_NONE:
+            first_boots += 1
+        elif kind == BEAT_ALIVE:
+            freezes.append(
+                FreezeEvent(
+                    phone_id=phone_id,
+                    detected_at=boot.time,
+                    last_alive=boot.last_beat_time,
                 )
-            elif kind == BEAT_REBOOT:
-                shutdowns.append(
-                    ShutdownEvent(
-                        phone_id=phone_id,
-                        at=boot.last_beat_time,
-                        boot_time=boot.time,
-                    )
+            )
+        elif kind == BEAT_REBOOT:
+            shutdowns.append(
+                ShutdownEvent(
+                    phone_id=phone_id,
+                    at=boot.last_beat_time,
+                    boot_time=boot.time,
                 )
-            elif kind == BEAT_LOWBT:
-                lowbt += 1
-            elif kind == BEAT_MAOFF:
-                maoff += 1
+            )
+        elif kind == BEAT_LOWBT:
+            lowbt += 1
+        elif kind == BEAT_MAOFF:
+            maoff += 1
+    return PhoneBootClassification(
+        phone_id=phone_id,
+        freezes=tuple(freezes),
+        shutdowns=tuple(shutdowns),
+        lowbt_count=lowbt,
+        maoff_count=maoff,
+        first_boot_count=first_boots,
+    )
+
+
+def assemble_study(
+    classifications: Sequence[PhoneBootClassification],
+) -> ShutdownStudy:
+    """Fold per-phone classifications into one :class:`ShutdownStudy`.
+
+    The event lists are concatenated in the given phone order and then
+    time-sorted with a stable sort, so passing classifications in the
+    dataset's (lexicographic) phone order reproduces the monolithic
+    study's tie-breaking exactly — which is what makes shard-merged
+    results bit-identical.
+    """
+    freezes: List[FreezeEvent] = []
+    shutdowns: List[ShutdownEvent] = []
+    lowbt = 0
+    maoff = 0
+    first_boots = 0
+    for cls in classifications:
+        freezes.extend(cls.freezes)
+        shutdowns.extend(cls.shutdowns)
+        lowbt += cls.lowbt_count
+        maoff += cls.maoff_count
+        first_boots += cls.first_boot_count
     freezes.sort(key=lambda e: e.detected_at)
     shutdowns.sort(key=lambda e: e.at)
     return ShutdownStudy(
@@ -211,4 +256,14 @@ def compute_shutdown_study(dataset: Dataset) -> ShutdownStudy:
         lowbt_count=lowbt,
         maoff_count=maoff,
         first_boot_count=first_boots,
+    )
+
+
+def compute_shutdown_study(dataset: Dataset) -> ShutdownStudy:
+    """Classify every boot record in the dataset."""
+    return assemble_study(
+        [
+            classify_boots(phone_id, log.boots)
+            for phone_id, log in dataset.logs.items()
+        ]
     )

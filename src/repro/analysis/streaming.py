@@ -1,0 +1,561 @@
+"""Mergeable streaming accumulators — constant-memory shard analysis.
+
+The batch pipeline (:func:`repro.analysis.report.build_report`)
+materialises every phone's parsed log in one :class:`Dataset` before
+aggregating, so a single process pays O(fleet records) memory.  This
+module decomposes every report section into a **per-phone reduction**
+plus an **order-independent merge**: a shard worker folds each phone's
+log into a small JSON-native partial (events, per-panic joins, counts
+— never raw records), partials from any number of shards merge in any
+order, and one finalize pass reproduces the monolithic report section
+by section, **bit-identically**.
+
+Bit-identity holds by construction, not by luck: every accumulator
+finalizes through the same aggregation core its batch counterpart uses
+(:func:`~repro.analysis.shutdowns.assemble_study`,
+:func:`~repro.analysis.availability.availability_from_observations`,
+:func:`~repro.analysis.panics.panic_table_from_counts`,
+:func:`~repro.analysis.bursts.burst_sizes_summary`,
+:func:`~repro.analysis.hl_relationship.rows_from_outcomes`,
+:func:`~repro.analysis.activity.activity_table_from_pairs`,
+:func:`~repro.analysis.runapps.runapps_stats_from_joins`,
+:func:`~repro.analysis.output_failures.stats_from_phone_parts`), and
+finalize replays the batch path's float-fold orders exactly: phones in
+lexicographic id order, panics in the global stable time sort of
+``Dataset.all_panics``.  Merging is a disjoint union over phone ids —
+a phone appearing in two shards is a double-count and raises
+:class:`~repro.core.errors.AnalysisError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.activity import (
+    activity_at,
+    activity_intervals,
+    activity_table_from_pairs,
+    ActivityTable,
+)
+from repro.analysis.availability import (
+    AvailabilityStats,
+    availability_from_observations,
+)
+from repro.analysis.bursts import (
+    DEFAULT_BURST_GAP,
+    burst_sizes_summary,
+    phone_bursts,
+)
+from repro.analysis.coalescence import (
+    DEFAULT_WINDOW,
+    HL_FREEZE,
+    HL_SELF_SHUTDOWN,
+    matched_event,
+    phone_hl_events,
+)
+from repro.analysis.hl_relationship import HlRelationship, rows_from_outcomes
+from repro.analysis.ingest import Dataset, PhoneLog, observation_hours
+from repro.analysis.output_failures import (
+    PhoneReportPart,
+    phone_report_part,
+    stats_from_phone_parts,
+)
+from repro.analysis.panics import PanicTable, panic_table_from_counts
+from repro.analysis.runapps import (
+    OUTCOME_FREEZE,
+    OUTCOME_NONE,
+    OUTCOME_SELF_SHUTDOWN,
+    RunningAppsStats,
+    running_apps_at,
+    runapps_stats_from_joins,
+)
+from repro.analysis.shutdowns import (
+    SELF_SHUTDOWN_THRESHOLD,
+    FreezeEvent,
+    PhoneBootClassification,
+    ShutdownEvent,
+    ShutdownStudy,
+    assemble_study,
+    classify_boots,
+)
+from repro.core.errors import AnalysisError
+from repro.symbian.panics import PanicId
+
+#: Version stamp of the accumulator wire format (shard cache entries).
+STREAMING_FORMAT_VERSION = 1
+
+
+class PhoneAccumulator:
+    """Base of every streaming accumulator: a phone-keyed partial map.
+
+    State is one JSON-native payload per phone.  ``merge`` is a
+    disjoint dict union — commutative and associative because finalize
+    always iterates phones in sorted order — and overlapping phone ids
+    raise :class:`AnalysisError` so a shard-planning bug can never
+    silently double-count a phone.  The empty accumulator is the merge
+    identity.
+    """
+
+    def __init__(self, phones: Optional[Dict[str, object]] = None) -> None:
+        self.phones: Dict[str, object] = dict(phones) if phones else {}
+
+    def add_phone(self, phone_id: str, payload: object) -> None:
+        """Record one phone's partial (a phone folds in exactly once)."""
+        if phone_id in self.phones:
+            raise AnalysisError(
+                f"{type(self).__name__}: phone {phone_id!r} already "
+                "accumulated (double-count)"
+            )
+        self.phones[phone_id] = payload
+
+    def merge(self, other: "PhoneAccumulator") -> "PhoneAccumulator":
+        """Disjoint union of two partials (raises on phone overlap)."""
+        if type(other) is not type(self):
+            raise AnalysisError(
+                f"cannot merge {type(self).__name__} with "
+                f"{type(other).__name__}"
+            )
+        overlap = self.phones.keys() & other.phones.keys()
+        if overlap:
+            raise AnalysisError(
+                f"{type(self).__name__}: merge would double-count "
+                f"phones {sorted(overlap)[:5]!r}"
+            )
+        return type(self)({**self.phones, **other.phones})
+
+    def ordered(self) -> Iterator[Tuple[str, object]]:
+        """Per-phone payloads in lexicographic phone-id order — the
+        dataset's iteration order, which finalize folds must follow."""
+        for phone_id in sorted(self.phones):
+            yield phone_id, self.phones[phone_id]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-native snapshot (phones sorted)."""
+        return {"phones": {pid: payload for pid, payload in self.ordered()}}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PhoneAccumulator":
+        """Inverse of :meth:`to_dict`."""
+        return cls(dict(payload["phones"]))
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.phones == other.phones
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(phones={len(self.phones)})"
+
+
+class ShutdownAccumulator(PhoneAccumulator):
+    """Boot classifications: freezes, shutdowns, excluded-boot counts."""
+
+    def study(self) -> ShutdownStudy:
+        """Rebuild the :class:`ShutdownStudy` the batch path computes."""
+        classifications: List[PhoneBootClassification] = []
+        for phone_id, payload in self.ordered():
+            classifications.append(
+                PhoneBootClassification(
+                    phone_id=phone_id,
+                    freezes=tuple(
+                        FreezeEvent(phone_id, detected_at, last_alive)
+                        for detected_at, last_alive in payload["freezes"]
+                    ),
+                    shutdowns=tuple(
+                        ShutdownEvent(phone_id, at, boot_time)
+                        for at, boot_time in payload["shutdowns"]
+                    ),
+                    lowbt_count=payload["lowbt"],
+                    maoff_count=payload["maoff"],
+                    first_boot_count=payload["first_boots"],
+                )
+            )
+        return assemble_study(classifications)
+
+
+class AvailabilityAccumulator(PhoneAccumulator):
+    """Observation state: per-phone start time and record count."""
+
+    def observed(self, end_time: float) -> Dict[str, float]:
+        """Per-phone observed hours, in lexicographic phone order."""
+        return {
+            phone_id: observation_hours(payload["start_time"], end_time)
+            for phone_id, payload in self.ordered()
+        }
+
+    @property
+    def record_count(self) -> int:
+        """Parsed records across all phones (telemetry parity)."""
+        return sum(payload["records"] for _pid, payload in self.ordered())
+
+
+class PanicRowAccumulator(PhoneAccumulator):
+    """Shared shape for per-panic rows with the panic time at index 0."""
+
+    def time_ordered(self) -> List[list]:
+        """All rows in the global stable time sort ``all_panics`` uses:
+        concatenate phones lexicographically, then stable-sort on time."""
+        rows: List[list] = []
+        for _phone_id, payload in self.ordered():
+            rows.extend(payload)
+        rows.sort(key=lambda row: row[0])
+        return rows
+
+
+class PanicTableAccumulator(PhoneAccumulator):
+    """Per-panic (category, type) pairs for Table 2."""
+
+    def table(self) -> PanicTable:
+        counts: Dict[PanicId, int] = {}
+        for _phone_id, payload in self.ordered():
+            for category, ptype in payload:
+                pid = PanicId(category, ptype)
+                counts[pid] = counts.get(pid, 0) + 1
+        return panic_table_from_counts(counts)
+
+
+class BurstAccumulator(PhoneAccumulator):
+    """Per-phone cascade sizes (burst detection ran in the worker)."""
+
+    def summary(self, gap: float) -> Dict[str, object]:
+        sizes: List[int] = []
+        for _phone_id, payload in self.ordered():
+            sizes.extend(payload)
+        return burst_sizes_summary(sizes, gap)
+
+
+class CoalescenceAccumulator(PanicRowAccumulator):
+    """Per-panic HL coalescence outcomes.
+
+    Rows are ``[time, category, matched kind or None, matched under
+    the all-shutdowns robustness variant]`` — the matching itself
+    (window search against the phone's own HL events) already happened
+    in the worker, so the merge step only counts and orders.
+    """
+
+    def relationship(self, window: float) -> HlRelationship:
+        rows = self.time_ordered()
+        total = len(rows)
+        matched = [
+            (category, kind)
+            for _time, category, kind, _all in rows
+            if kind is not None
+        ]
+        isolated = [
+            (category, None)
+            for _time, category, kind, _all in rows
+            if kind is None
+        ]
+        matched_all = sum(1 for row in rows if row[3])
+        return HlRelationship(
+            window=window,
+            rows=rows_from_outcomes(matched + isolated),
+            related_percent=(100.0 * len(matched) / total) if total else 0.0,
+            related_percent_all_shutdowns=(
+                (100.0 * matched_all / total) if total else 0.0
+            ),
+            result=None,
+        )
+
+
+class ActivityAccumulator(PanicRowAccumulator):
+    """Per-panic ``[time, activity, category, matched kind]`` rows."""
+
+    def table(self) -> ActivityTable:
+        pairs = [
+            (activity, category)
+            for _time, activity, category, kind in self.time_ordered()
+            if kind is not None
+        ]
+        return activity_table_from_pairs(pairs)
+
+
+class RunappsAccumulator(PanicRowAccumulator):
+    """Per-panic ``[time, category, HL outcome, apps]`` joins."""
+
+    def stats(self) -> RunningAppsStats:
+        joins = [
+            (category, outcome, tuple(apps))
+            for _time, category, outcome, apps in self.time_ordered()
+        ]
+        return runapps_stats_from_joins(joins)
+
+
+class OutputFailureAccumulator(PhoneAccumulator):
+    """Per-phone user-report parts (kinds, correlation, coverage)."""
+
+    def stats(self, window: float):
+        parts = [
+            PhoneReportPart(
+                kinds=tuple(payload["kinds"]),
+                correlated=payload["correlated"],
+                hours=payload["hours"],
+                covered_seconds=payload["covered_seconds"],
+            )
+            for _phone_id, payload in self.ordered()
+        ]
+        return stats_from_phone_parts(parts, window)
+
+
+#: Accumulator class per report section, in the report's section order.
+SECTION_ACCUMULATORS: Dict[str, type] = {
+    "shutdowns": ShutdownAccumulator,
+    "availability": AvailabilityAccumulator,
+    "panics": PanicTableAccumulator,
+    "bursts": BurstAccumulator,
+    "hl": CoalescenceAccumulator,
+    "activity": ActivityAccumulator,
+    "runapps": RunappsAccumulator,
+    "output_failures": OutputFailureAccumulator,
+}
+
+
+class CampaignAccumulator:
+    """Every section's streaming accumulator plus the analysis knobs.
+
+    The shard-campaign unit of work: workers build one from their slice
+    of the fleet (:meth:`from_dataset`), results merge pairwise in any
+    order (:meth:`merge`), and :meth:`sections` finalizes into the
+    exact dict :meth:`ReproductionReport.to_dict` produces for the
+    monolithic dataset.
+    """
+
+    def __init__(
+        self,
+        end_time: float,
+        window: float = DEFAULT_WINDOW,
+        gap: float = DEFAULT_BURST_GAP,
+        threshold: float = SELF_SHUTDOWN_THRESHOLD,
+        sections: Optional[Dict[str, PhoneAccumulator]] = None,
+    ) -> None:
+        if end_time <= 0:
+            raise AnalysisError(f"end_time must be positive, got {end_time}")
+        if window <= 0:
+            raise AnalysisError(f"window must be positive, got {window}")
+        if gap <= 0:
+            raise AnalysisError(f"burst gap must be positive, got {gap}")
+        self.end_time = end_time
+        self.window = window
+        self.gap = gap
+        self.threshold = threshold
+        self.accumulators: Dict[str, PhoneAccumulator] = (
+            sections
+            if sections is not None
+            else {name: acc() for name, acc in SECTION_ACCUMULATORS.items()}
+        )
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Dataset,
+        window: float = DEFAULT_WINDOW,
+        gap: float = DEFAULT_BURST_GAP,
+        threshold: float = SELF_SHUTDOWN_THRESHOLD,
+    ) -> "CampaignAccumulator":
+        """Reduce a (shard) dataset to its streaming partials."""
+        acc = cls(
+            end_time=dataset.end_time,
+            window=window,
+            gap=gap,
+            threshold=threshold,
+        )
+        for phone_id, log in dataset.logs.items():
+            acc.add_phone(phone_id, log)
+        return acc
+
+    def add_phone(self, phone_id: str, log: PhoneLog) -> None:
+        """Fold one phone's parsed log into every section's partial.
+
+        This is the constant-memory step: everything the merge needs —
+        classified boots, per-panic joins, report parts — is derived
+        here and the raw records can be dropped afterwards.
+        """
+        classification = classify_boots(phone_id, log.boots)
+        events = phone_hl_events(
+            phone_id,
+            classification.freezes,
+            classification.shutdowns,
+            self.threshold,
+        )
+        events_all = phone_hl_events(
+            phone_id,
+            classification.freezes,
+            classification.shutdowns,
+            self.threshold,
+            include_user_shutdowns=True,
+        )
+        intervals = activity_intervals(log)
+        runapp_times = [snap.time for snap in log.runapps]
+
+        panic_rows: List[list] = []
+        outcome_rows: List[list] = []
+        activity_rows: List[list] = []
+        runapp_rows: List[list] = []
+        for panic in log.panics:
+            nearest = matched_event(events, panic.time, self.window)
+            kind = nearest.kind if nearest is not None else None
+            matched_all = (
+                matched_event(events_all, panic.time, self.window) is not None
+            )
+            activity = activity_at(intervals, panic.time)
+            apps = running_apps_at(log, panic.time, _times=runapp_times)
+            if kind == HL_FREEZE:
+                outcome = OUTCOME_FREEZE
+            elif kind == HL_SELF_SHUTDOWN:
+                outcome = OUTCOME_SELF_SHUTDOWN
+            else:
+                outcome = OUTCOME_NONE
+            panic_rows.append([panic.category, panic.ptype])
+            outcome_rows.append([panic.time, panic.category, kind, matched_all])
+            activity_rows.append([panic.time, activity, panic.category, kind])
+            runapp_rows.append([panic.time, panic.category, outcome, list(apps)])
+
+        part = phone_report_part(log, self.end_time, self.window)
+        ordered_panics = sorted(log.panics, key=lambda p: p.time)
+        sizes = [
+            burst.size
+            for burst in phone_bursts(phone_id, ordered_panics, self.gap)
+        ]
+
+        self.accumulators["shutdowns"].add_phone(
+            phone_id,
+            {
+                "freezes": [
+                    [freeze.detected_at, freeze.last_alive]
+                    for freeze in classification.freezes
+                ],
+                "shutdowns": [
+                    [shutdown.at, shutdown.boot_time]
+                    for shutdown in classification.shutdowns
+                ],
+                "lowbt": classification.lowbt_count,
+                "maoff": classification.maoff_count,
+                "first_boots": classification.first_boot_count,
+            },
+        )
+        self.accumulators["availability"].add_phone(
+            phone_id,
+            {"start_time": log.start_time, "records": log.record_count},
+        )
+        self.accumulators["panics"].add_phone(phone_id, panic_rows)
+        self.accumulators["bursts"].add_phone(phone_id, sizes)
+        self.accumulators["hl"].add_phone(phone_id, outcome_rows)
+        self.accumulators["activity"].add_phone(phone_id, activity_rows)
+        self.accumulators["runapps"].add_phone(phone_id, runapp_rows)
+        self.accumulators["output_failures"].add_phone(
+            phone_id,
+            {
+                "kinds": list(part.kinds),
+                "correlated": part.correlated,
+                "hours": part.hours,
+                "covered_seconds": part.covered_seconds,
+            },
+        )
+
+    # -- merge -------------------------------------------------------------------
+
+    def merge(self, other: "CampaignAccumulator") -> "CampaignAccumulator":
+        """Combine two disjoint partials (any order, any grouping)."""
+        for knob in ("end_time", "window", "gap", "threshold"):
+            mine, theirs = getattr(self, knob), getattr(other, knob)
+            if mine != theirs:
+                raise AnalysisError(
+                    f"cannot merge accumulators with different {knob}: "
+                    f"{mine!r} != {theirs!r}"
+                )
+        return CampaignAccumulator(
+            end_time=self.end_time,
+            window=self.window,
+            gap=self.gap,
+            threshold=self.threshold,
+            sections={
+                name: acc.merge(other.accumulators[name])
+                for name, acc in self.accumulators.items()
+            },
+        )
+
+    # -- finalize ----------------------------------------------------------------
+
+    @property
+    def phone_count(self) -> int:
+        return len(self.accumulators["availability"].phones)
+
+    @property
+    def record_count(self) -> int:
+        return self.accumulators["availability"].record_count
+
+    def study(self) -> ShutdownStudy:
+        return self.accumulators["shutdowns"].study()
+
+    def availability(self, study: Optional[ShutdownStudy] = None) -> AvailabilityStats:
+        if study is None:
+            study = self.study()
+        observed = self.accumulators["availability"].observed(self.end_time)
+        return availability_from_observations(observed, study, self.threshold)
+
+    def sections(self) -> Dict[str, Dict[str, object]]:
+        """Finalize into the batch report's ``to_dict`` sections."""
+        study = self.study()
+        return {
+            "shutdowns": study.to_dict(),
+            "availability": self.availability(study).to_dict(),
+            "panics": self.accumulators["panics"].table().to_dict(),
+            "bursts": self.accumulators["bursts"].summary(self.gap),
+            "hl": self.accumulators["hl"].relationship(self.window).to_dict(),
+            "activity": self.accumulators["activity"].table().to_dict(),
+            "runapps": self.accumulators["runapps"].stats().to_dict(),
+            "output_failures": (
+                self.accumulators["output_failures"].stats(self.window).to_dict()
+            ),
+        }
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-native snapshot (the shard wire format)."""
+        return {
+            "format_version": STREAMING_FORMAT_VERSION,
+            "end_time": self.end_time,
+            "window": self.window,
+            "gap": self.gap,
+            "threshold": self.threshold,
+            "sections": {
+                name: acc.to_dict() for name, acc in self.accumulators.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignAccumulator":
+        """Inverse of :meth:`to_dict`."""
+        version = payload.get("format_version")
+        if version != STREAMING_FORMAT_VERSION:
+            raise AnalysisError(
+                f"unsupported streaming format version {version!r} "
+                f"(expected {STREAMING_FORMAT_VERSION})"
+            )
+        return cls(
+            end_time=payload["end_time"],
+            window=payload["window"],
+            gap=payload["gap"],
+            threshold=payload["threshold"],
+            sections={
+                name: SECTION_ACCUMULATORS[name].from_dict(acc_payload)
+                for name, acc_payload in payload["sections"].items()
+            },
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.end_time == other.end_time
+            and self.window == other.window
+            and self.gap == other.gap
+            and self.threshold == other.threshold
+            and self.accumulators == other.accumulators
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignAccumulator(phones={self.phone_count}, "
+            f"end_time={self.end_time:.0f}s, window={self.window:.0f}s)"
+        )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the whole study:
+Eight subcommands cover the whole study:
 
 * ``campaign`` — simulate a deployment campaign, print the full report,
   optionally export the raw per-phone log files to a directory;
@@ -22,7 +22,11 @@ Seven subcommands cover the whole study:
 * ``faults``   — inject faults into the collection path (storage,
   transfer, worker, cache layers) at swept intensities and report how
   far the headline figures drift — the degradation-curve experiment
-  that certifies the pipeline degrades gracefully.
+  that certifies the pipeline degrades gracefully;
+* ``megafleet`` — run one large campaign as K deterministic
+  per-phone-range shards with streaming merge: peak memory is bounded
+  by the largest shard, and the merged summary is bit-identical to the
+  monolithic run (``--verify`` proves it in-process).
 
 Usage::
 
@@ -36,6 +40,9 @@ Usage::
     python -m repro.cli trace trace.json --phones 6 --months 2
     python -m repro.cli faults --intensities 0.5,1,2 --output robustness.json
     python -m repro.cli faults --max-drift 5 --gate-intensity 1 --resilience
+    python -m repro.cli megafleet --phones 10000 --months 2 --shards 16 \\
+        --workers 4 --output BENCH_megafleet.json
+    python -m repro.cli megafleet --phones 50 --shards 5 --verify
 """
 
 from __future__ import annotations
@@ -282,6 +289,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: 1.0)",
     )
 
+    megafleet = sub.add_parser(
+        "megafleet",
+        help="run one large campaign as K deterministic phone-range "
+        "shards with streaming merge",
+    )
+    megafleet.add_argument("--phones", type=int, default=10000)
+    megafleet.add_argument("--months", type=float, default=2.0)
+    megafleet.add_argument("--seed", type=int, default=2005)
+    megafleet.add_argument(
+        "--shards", type=int, default=16,
+        help="phone-range shards to split the fleet into (default: 16)",
+    )
+    megafleet.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes (1 = serial in-process)",
+    )
+    megafleet.add_argument(
+        "--pipeline", choices=PIPELINES, default=PIPELINE_STRUCTURED,
+        help="ingest door for every shard (default: structured)",
+    )
+    megafleet.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="cache shard results here; repeated runs re-merge for free",
+    )
+    megafleet.add_argument(
+        "--window", type=float, default=DEFAULT_WINDOW,
+        help="panic/HL coalescence window in seconds (paper: 300)",
+    )
+    megafleet.add_argument(
+        "--verify", action="store_true",
+        help="also run the campaign monolithically and fail (exit 1) "
+        "unless the merged summary is bit-identical",
+    )
+    megafleet.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the run report as JSON instead of text",
+    )
+    megafleet.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the run report JSON here "
+        "(e.g. BENCH_megafleet.json)",
+    )
+
     return parser
 
 
@@ -511,6 +561,128 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _json_finite(value: float) -> object:
+    """Strict-JSON representation of one figure (inf/nan -> string)."""
+    import math
+
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+def _cmd_megafleet(args: argparse.Namespace) -> int:
+    import resource
+    from time import perf_counter
+
+    from repro.experiments.shard import run_sharded_campaign, shard_cache
+    from repro.experiments.summary import CampaignSummary, headline_figures
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    config = CampaignConfig(
+        fleet=FleetConfig(
+            phone_count=args.phones, duration=args.months * MONTH
+        ),
+        seed=args.seed,
+        coalescence_window=args.window,
+    )
+    try:
+        cache = shard_cache(args.cache) if args.cache else None
+    except OSError as exc:
+        raise SystemExit(f"cannot use cache directory {args.cache!r}: {exc}")
+    try:
+        start = perf_counter()
+        result = run_sharded_campaign(
+            config,
+            shards=args.shards,
+            workers=args.workers,
+            pipeline=args.pipeline,
+            cache=cache,
+        )
+        wall = perf_counter() - start
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    summary = result.summary
+
+    report = {
+        "phones": args.phones,
+        "months": args.months,
+        "seed": args.seed,
+        "shards": result.shard_count,
+        "shard_ranges": [list(r) for r in result.shard_ranges],
+        "workers": args.workers,
+        "pipeline": args.pipeline,
+        "wall_seconds": round(wall, 3),
+        # ru_maxrss is KiB on Linux: the parent holds only merged
+        # accumulators; shard datasets peak inside the children.
+        "max_rss_kb": {
+            "self": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            "children": resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+        },
+        "quarantined_lines": result.ingest.quarantined,
+        "headline": {
+            key: _json_finite(value)
+            for key, value in headline_figures(summary).items()
+        },
+    }
+    if cache is not None:
+        report["cache"] = {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "entries": len(cache),
+        }
+
+    verified: Optional[bool] = None
+    if args.verify:
+        mono = CampaignSummary.from_result(
+            run_campaign(config, pipeline=args.pipeline)
+        )
+        verified = json.dumps(mono.to_dict(), sort_keys=True) == json.dumps(
+            summary.to_dict(), sort_keys=True
+        )
+        report["verified"] = verified
+
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        lines = [
+            f"Mega-fleet: {args.phones} phones x {args.months:g} months, "
+            f"{result.shard_count} shards x {args.workers} workers "
+            f"({args.pipeline} ingest)",
+            f"wall time:       {wall:.2f}s",
+            f"peak RSS:        parent "
+            f"{report['max_rss_kb']['self'] / 1024:.0f} MiB, "
+            f"largest child "
+            f"{report['max_rss_kb']['children'] / 1024:.0f} MiB",
+            f"quarantined:     {result.ingest.quarantined} lines",
+        ]
+        for key, value in report["headline"].items():
+            rendered = (
+                f"{value:.2f}" if isinstance(value, float) else str(value)
+            )
+            lines.append(f"{key}: {rendered}")
+        if cache is not None:
+            lines.append(
+                f"cache {args.cache}: {cache.hits} hits, "
+                f"{cache.misses} misses, {len(cache)} entries"
+            )
+        print("\n".join(lines))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if verified is not None:
+        if not verified:
+            print(
+                "MISMATCH: sharded summary differs from the monolithic run",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: sharded summary is bit-identical to the monolithic run")
+    return 0
+
+
 def _cmd_forum(args: argparse.Namespace) -> int:
     config = CorpusConfig(failure_reports=args.reports, noise_level=args.noise)
     result = run_forum_study(config, seed=args.seed)
@@ -537,6 +709,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "megafleet":
+        return _cmd_megafleet(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

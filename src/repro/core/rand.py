@@ -124,6 +124,24 @@ class Stream:
         # final key in that case.
         return last  # type: ignore[return-value]
 
+    def discard(self, count: int) -> None:
+        """Advance the stream past ``count`` single-variate draws.
+
+        Shard workers use this to replay a shared stream's prefix: a
+        fleet slice covering phones ``[start, stop)`` discards the
+        ``start`` enrollment draws earlier phones consumed, so its own
+        draws land on exactly the variates the monolithic run would
+        have produced.  Only valid for skipping draws that consume one
+        underlying uniform each (``uniform``/``random``/``bernoulli``).
+
+        Raises:
+            ValueError: if ``count`` is negative.
+        """
+        if count < 0:
+            raise ValueError(f"discard count must be >= 0, got {count}")
+        for _ in range(count):
+            self._rng.random()
+
     def geometric(self, p: float, maximum: int = 64) -> int:
         """Number of trials until first success (support ``1..maximum``)."""
         if not 0 < p <= 1:

@@ -7,6 +7,7 @@
   runner, plus :func:`run_campaigns_resilient` and its
   :class:`SweepManifest` of partial results and structured failures.
 * :mod:`cache`    — the on-disk summary cache for repeated sweeps.
+* :mod:`shard`    — sharded mega-fleet campaigns with streaming merge.
 * :mod:`paper`    — the paper's published numbers, as data.
 * :mod:`compare`  — paper-vs-measured comparison tables.
 """
@@ -26,6 +27,15 @@ from repro.experiments.runner import (
     run_campaigns,
     run_campaigns_resilient,
     summarize_campaign,
+)
+from repro.experiments.shard import (
+    MegafleetResult,
+    ShardResult,
+    ShardTask,
+    merge_shards,
+    plan_shards,
+    run_sharded_campaign,
+    shard_cache,
 )
 from repro.experiments.summary import (
     HEADLINE_KEYS,
@@ -51,4 +61,11 @@ __all__ = [
     "Comparison",
     "ComparisonRow",
     "headline_comparison",
+    "MegafleetResult",
+    "ShardResult",
+    "ShardTask",
+    "merge_shards",
+    "plan_shards",
+    "run_sharded_campaign",
+    "shard_cache",
 ]

@@ -39,6 +39,11 @@ class CampaignConfig:
             raise ConfigError("campaign duration must be positive")
         if self.coalescence_window <= 0:
             raise ConfigError("coalescence window must be positive")
+        if self.fleet.phone_range is not None:
+            try:
+                self.fleet.resolved_range()
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from None
 
     def to_dict(self) -> dict:
         """JSON-native dump of every knob (fleet, logger, and fault

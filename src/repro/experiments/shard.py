@@ -1,0 +1,386 @@
+"""Sharded mega-fleet campaigns: one logical campaign, K workers.
+
+A paper-scale campaign (25 phones) fits comfortably in one process; a
+mega-fleet study (10k–1M phones) does not — the monolithic pipeline
+holds every phone's parsed records in one :class:`Dataset` before
+analysing, so memory grows with the whole fleet.  This module splits
+one logical campaign into deterministic per-phone-range shards:
+
+* :func:`plan_shards` slices ``[0, phone_count)`` into K contiguous,
+  near-even ranges, each expressed as the *same* campaign config with
+  ``fleet.phone_range`` set — phone ids, per-phone random streams, and
+  enrollment draws are exactly what the monolithic run would produce
+  for the same indices (see :meth:`Fleet.build`);
+* :class:`ShardTask` is the picklable unit of worker work: simulate
+  the slice, ingest its logs, and reduce them to a
+  :class:`~repro.analysis.streaming.CampaignAccumulator` — raw records
+  never leave the worker, so peak memory is bounded by the largest
+  shard, not the fleet;
+* :func:`merge_shards` folds the shard partials into one
+  :class:`CampaignSummary` that is **bit-identical** to the summary a
+  monolithic run of the same config produces (the streaming
+  accumulators replay the batch pipeline's aggregation orders
+  exactly);
+* :func:`run_sharded_campaign` wires it all through the existing
+  process-pool runner (:func:`~repro.experiments.runner.run_campaigns`),
+  inheriting its cache integration, retries, and hung-worker watchdog.
+
+Simulation-side telemetry counters are the one deliberate exception to
+bit-identity: K shard simulators schedule K times as many periodic
+transfer events as one monolithic simulator, so ``sim.*`` counters
+differ by construction.  Telemetry is therefore off by default and
+per-shard registries merge canonically when enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import reduce
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.ingest import (
+    PIPELINE_STRUCTURED,
+    Dataset,
+    IngestReport,
+)
+from repro.analysis.streaming import CampaignAccumulator
+from repro.experiments.cache import CampaignCache
+from repro.experiments.campaign import _sample_ingest_metrics
+from repro.experiments.config import CampaignConfig
+from repro.experiments.runner import run_campaigns
+from repro.experiments.summary import CampaignSummary
+from repro.observability.metrics import merge_registries
+from repro.observability.telemetry import (
+    TELEMETRY_METRICS,
+    TELEMETRY_OFF,
+    Telemetry,
+)
+from repro.phone.fleet import Fleet, accumulate_ground_truth
+
+#: Version stamp of the shard-result wire format (cache entries).
+SHARD_FORMAT_VERSION = 1
+
+
+def plan_shards(config: CampaignConfig, shards: int) -> List[CampaignConfig]:
+    """Slice one campaign into per-phone-range shard configs.
+
+    Ranges are contiguous and near-even (the first ``phone_count %
+    shards`` shards get one extra phone), so the plan is a pure
+    function of ``(phone_count, shards)`` — identical plans produce
+    identical cache keys run after run.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if config.fleet.phone_range is not None:
+        raise ValueError(
+            f"cannot shard a config that is already a slice "
+            f"(phone_range={config.fleet.phone_range!r})"
+        )
+    count = config.fleet.phone_count
+    if shards > count:
+        raise ValueError(
+            f"cannot split {count} phones into {shards} shards"
+        )
+    base, extra = divmod(count, shards)
+    configs: List[CampaignConfig] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        configs.append(
+            replace(
+                config,
+                fleet=replace(config.fleet, phone_range=(start, stop)),
+            )
+        )
+        start = stop
+    return configs
+
+
+@dataclass
+class ShardResult:
+    """One shard's complete output, as plain JSON-native data.
+
+    Everything the merge needs and nothing the worker should keep: the
+    streaming accumulator (analysis partials), the per-phone ground
+    truth (simulator-side counters in phone-index order), the shard's
+    quarantine accounting, and an optional telemetry snapshot.
+    """
+
+    #: Half-open global phone-index range this shard covered.
+    phone_range: Tuple[int, int]
+    #: The shard's ``CampaignConfig.to_dict()`` (provenance only; the
+    #: merged summary carries the *original* unsharded config).
+    config: Dict[str, Any]
+    accumulator: CampaignAccumulator
+    #: Per-phone ground-truth partials, in global phone-index order.
+    ground_truth: List[Dict[str, float]]
+    ingest: IngestReport = field(default_factory=IngestReport)
+    #: ``Telemetry.snapshot()`` of the worker ({} when telemetry off).
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+    format_version: int = SHARD_FORMAT_VERSION
+
+    @property
+    def phone_count(self) -> int:
+        return self.accumulator.phone_count
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native snapshot (the cache / wire format)."""
+        return {
+            "format_version": self.format_version,
+            "phone_range": list(self.phone_range),
+            "config": self.config,
+            "accumulator": self.accumulator.to_dict(),
+            "ground_truth": self.ground_truth,
+            "ingest": self.ingest.to_dict(),
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardResult":
+        """Inverse of :meth:`to_dict`.
+
+        Raises :class:`ValueError` on any untrusted shape (wrong
+        format version, missing keys), so a cache configured with this
+        loader evicts foreign or stale entries as corrupt.
+        """
+        version = data.get("format_version")
+        if version != SHARD_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported shard format version {version!r} "
+                f"(expected {SHARD_FORMAT_VERSION})"
+            )
+        try:
+            accumulator = CampaignAccumulator.from_dict(data["accumulator"])
+        except Exception as exc:
+            raise ValueError(f"bad shard accumulator: {exc}") from None
+        start, stop = data["phone_range"]
+        return cls(
+            phone_range=(int(start), int(stop)),
+            config=dict(data["config"]),
+            accumulator=accumulator,
+            ground_truth=list(data["ground_truth"]),
+            ingest=IngestReport.from_dict(data["ingest"]),
+            telemetry=dict(data.get("telemetry", {})),
+        )
+
+
+class ShardTask:
+    """Picklable worker task: simulate + ingest + reduce one shard.
+
+    The worker never builds a batch report; it folds each phone's log
+    straight into the streaming accumulators, so its memory footprint
+    is one shard's records plus constant-size partials.  With
+    ``telemetry_level`` set, each invocation installs a fresh
+    :class:`Telemetry` (pooled workers never share registries) and the
+    snapshot rides home inside the :class:`ShardResult`.
+    """
+
+    #: The runner may pass the attempt number; it does not change rolls.
+    accepts_attempt = False
+
+    def __init__(
+        self,
+        pipeline: str = PIPELINE_STRUCTURED,
+        telemetry_level: Optional[str] = None,
+        plan: Optional[object] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.telemetry_level = telemetry_level
+        #: Optional :class:`~repro.robustness.plan.FaultPlan` injected
+        #: into the shard's collection path.  Injection streams are
+        #: derived per phone from the plan's own seed, so a sharded
+        #: faulty campaign reproduces the monolithic one's faults.
+        self.plan = plan
+
+    def __call__(self, config: CampaignConfig) -> ShardResult:
+        tel = Telemetry(
+            self.telemetry_level
+            if self.telemetry_level is not None
+            else TELEMETRY_OFF
+        )
+        collector = None
+        if self.plan is not None and getattr(self.plan, "enabled", False):
+            # Imported lazily: robustness depends on experiments, so a
+            # module-level import here would be circular.
+            from repro.logger.transfer import CollectionServer
+            from repro.robustness.injectors import FaultyLink
+
+            collector = CollectionServer(link=FaultyLink(self.plan))
+        with tel.installed():
+            fleet = Fleet(config.fleet, seed=config.seed, collector=collector)
+            with tel.span(
+                "shard",
+                category="campaign",
+                seed=config.seed,
+                phones=config.fleet.phone_count,
+                phone_range=list(config.fleet.resolved_range()),
+            ):
+                with tel.span("simulate", category="stage"):
+                    fleet.run()
+                with tel.span("ingest", category="stage"):
+                    dataset = Dataset.from_collector(
+                        fleet.collector,
+                        end_time=config.fleet.duration,
+                        pipeline=self.pipeline,
+                    )
+                with tel.span("reduce", category="stage"):
+                    accumulator = CampaignAccumulator.from_dataset(
+                        dataset, window=config.coalescence_window
+                    )
+            snapshot: Dict[str, Any] = {}
+            if tel.metrics:
+                fleet.sample_metrics(tel.registry)
+                _sample_ingest_metrics(tel.registry, dataset)
+                snapshot = tel.snapshot()
+        return ShardResult(
+            phone_range=config.fleet.resolved_range(),
+            config=config.to_dict(),
+            accumulator=accumulator,
+            ground_truth=fleet.per_phone_ground_truth(),
+            ingest=dataset.ingest_report,
+            telemetry=snapshot,
+        )
+
+
+def shard_cache(directory: str) -> CampaignCache:
+    """A :class:`CampaignCache` that stores :class:`ShardResult` entries.
+
+    Keyed exactly like summary caches — the shard's ``phone_range``
+    rides inside its config, so every shard of every plan gets its own
+    slot — but deserialized through :meth:`ShardResult.from_dict`.
+    """
+    return CampaignCache(directory, loader=ShardResult.from_dict)
+
+
+def _ordered_results(
+    results: Sequence[ShardResult], config: CampaignConfig
+) -> List[ShardResult]:
+    """Shard results sorted by range start, coverage-validated.
+
+    The ranges must tile ``[0, phone_count)`` exactly — no gap, no
+    overlap — or the merged summary would silently drop or double-count
+    phones.
+    """
+    ordered = sorted(results, key=lambda r: r.phone_range[0])
+    expected = 0
+    for result in ordered:
+        start, stop = result.phone_range
+        if start != expected:
+            raise ValueError(
+                f"shard ranges do not tile the fleet: expected a shard "
+                f"starting at {expected}, got {result.phone_range!r}"
+            )
+        expected = stop
+    if expected != config.fleet.phone_count:
+        raise ValueError(
+            f"shard ranges cover [0, {expected}) but the fleet has "
+            f"{config.fleet.phone_count} phones"
+        )
+    return ordered
+
+
+def merge_shards(
+    results: Sequence[ShardResult], config: CampaignConfig
+) -> CampaignSummary:
+    """Fold shard partials into the monolithic campaign's summary.
+
+    ``config`` is the *original* unsharded campaign config; the
+    returned summary carries it (not any shard's sliced config), its
+    ground truth folds per-phone partials in global phone-index order,
+    and its sections come from the merged streaming accumulators — all
+    bit-identical to ``CampaignSummary.from_result(run_campaign(config))``
+    up to the telemetry caveat in the module docstring.
+    """
+    if not results:
+        raise ValueError("no shard results to merge")
+    ordered = _ordered_results(results, config)
+    merged = reduce(
+        lambda a, b: a.merge(b), (r.accumulator for r in ordered)
+    )
+    ground_truth = accumulate_ground_truth(
+        part for result in ordered for part in result.ground_truth
+    )
+    snapshots = [r.telemetry for r in ordered if r.telemetry]
+    telemetry: Dict[str, Any] = {}
+    if snapshots:
+        telemetry = {
+            "level": TELEMETRY_METRICS,
+            "metrics": merge_registries(
+                snapshot.get("metrics", {}) for snapshot in snapshots
+            ).to_dict(),
+            "spans": [],
+        }
+    return CampaignSummary(
+        config=config.to_dict(),
+        ground_truth=ground_truth,
+        sections=merged.sections(),
+        telemetry=telemetry,
+    )
+
+
+def merge_ingest_reports(results: Sequence[ShardResult]) -> IngestReport:
+    """Fold the shards' quarantine accounting, in phone-range order."""
+    ordered = sorted(results, key=lambda r: r.phone_range[0])
+    report = IngestReport()
+    for result in ordered:
+        report = report.merge(result.ingest)
+    return report
+
+
+@dataclass
+class MegafleetResult:
+    """What one sharded campaign produced, beyond the summary itself."""
+
+    summary: CampaignSummary
+    #: The shard plan actually executed, in phone-index order.
+    shard_ranges: List[Tuple[int, int]]
+    #: Merged quarantine accounting across every shard.
+    ingest: IngestReport
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_ranges)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "summary": self.summary.to_dict(),
+            "shard_ranges": [list(r) for r in self.shard_ranges],
+            "ingest": self.ingest.to_dict(),
+        }
+
+
+def run_sharded_campaign(
+    config: CampaignConfig,
+    shards: int,
+    workers: int = 1,
+    pipeline: str = PIPELINE_STRUCTURED,
+    cache: Optional[CampaignCache] = None,
+    plan: Optional[object] = None,
+    telemetry_level: Optional[str] = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+) -> MegafleetResult:
+    """Run one logical campaign as ``shards`` independent slices.
+
+    Shards fan out over the standard campaign runner — process pool,
+    serial fallback, optional :func:`shard_cache`, retries, watchdog —
+    and fold back into one :class:`CampaignSummary` bit-identical to
+    the monolithic run (telemetry counters aside; see module docs).
+    """
+    shard_configs = plan_shards(config, shards)
+    task = ShardTask(
+        pipeline=pipeline, telemetry_level=telemetry_level, plan=plan
+    )
+    results = run_campaigns(
+        shard_configs,
+        workers=workers,
+        cache=cache,
+        task=task,
+        retries=retries,
+        timeout=timeout,
+    )
+    return MegafleetResult(
+        summary=merge_shards(results, config),
+        shard_ranges=[r.phone_range for r in results],
+        ingest=merge_ingest_reports(results),
+    )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import gc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.clock import DAY, MONTH
 from repro.core.engine import Simulator
@@ -47,6 +47,29 @@ class FleetConfig:
     #: Also install the D_EXC baseline (panic-only) collector on every
     #: phone, for the baseline-comparison experiments.
     attach_dexc: bool = False
+    #: Half-open global phone-index range ``[start, stop)`` this fleet
+    #: instance simulates.  ``None`` means the whole fleet.  Sharded
+    #: mega-fleet runs slice one logical campaign into K ranges; phone
+    #: ids, per-phone random streams, and enrollment draws stay exactly
+    #: what the monolithic run would produce for the same indices
+    #: (``phone_count`` keeps naming the *logical* fleet size).
+    phone_range: Optional[Tuple[int, int]] = None
+
+    def resolved_range(self) -> Tuple[int, int]:
+        """The ``[start, stop)`` phone-index range this config covers.
+
+        Raises:
+            ValueError: if ``phone_range`` is out of bounds or empty.
+        """
+        if self.phone_range is None:
+            return (0, self.phone_count)
+        start, stop = self.phone_range
+        if not 0 <= start < stop <= self.phone_count:
+            raise ValueError(
+                f"phone_range {self.phone_range!r} must satisfy "
+                f"0 <= start < stop <= phone_count ({self.phone_count})"
+            )
+        return (int(start), int(stop))
 
 
 class PhoneInstance:
@@ -112,8 +135,12 @@ class Fleet:
             raise ValueError("fleet already built")
         self._built = True
         cfg = self.config
+        start, stop = cfg.resolved_range()
         enroll_stream = self.streams.stream("enrollment")
-        for index in range(cfg.phone_count):
+        # Replay the enrollment draws earlier phone indices consumed so
+        # this slice's draws land on the monolithic run's exact variates.
+        enroll_stream.discard(start)
+        for index in range(start, stop):
             phone_id = f"phone-{index:02d}"
             phone_streams = self.streams.fork(phone_id)
             profile = make_profile(phone_id, phone_streams)
@@ -261,31 +288,61 @@ class Fleet:
 
     # -- ground truth for validation ----------------------------------------------------
 
+    def per_phone_ground_truth(self) -> List[Dict[str, float]]:
+        """Per-phone slice of :meth:`ground_truth`, in phone-index order.
+
+        Shard workers ship these partials home; folding them with
+        :func:`accumulate_ground_truth` in global index order reproduces
+        the monolithic totals bit-for-bit (the float fold order is the
+        same one :meth:`ground_truth` uses).
+        """
+        duration = self.config.duration
+        return [
+            {
+                "misbehaviors_perceived": float(p.user.misbehaviors_perceived),
+                "user_reports": float(p.user.reports_filed),
+                "freezes": float(p.device.freeze_count),
+                "self_shutdowns": float(p.device.shutdown_counts["self"]),
+                "user_shutdowns": float(p.device.shutdown_counts["user"]),
+                "lowbt_shutdowns": float(p.device.shutdown_counts["lowbt"]),
+                "panics": float(p.faults.panics_injected),
+                "boots": float(p.device.boot_count),
+                "observed_hours": p.observed_hours(duration),
+            }
+            for p in self.phones
+        ]
+
     def ground_truth(self) -> Dict[str, float]:
         """Simulator-side counters (what the analysis should recover)."""
-        freezes = sum(p.device.freeze_count for p in self.phones)
-        boots = sum(p.device.boot_count for p in self.phones)
-        panics = sum(p.faults.panics_injected for p in self.phones)
-        self_shutdowns = sum(
-            p.device.shutdown_counts["self"] for p in self.phones
-        )
-        user_shutdowns = sum(
-            p.device.shutdown_counts["user"] for p in self.phones
-        )
-        lowbt = sum(p.device.shutdown_counts["lowbt"] for p in self.phones)
-        observed_hours = sum(
-            p.observed_hours(self.config.duration) for p in self.phones
-        )
-        misbehaviors = sum(p.user.misbehaviors_perceived for p in self.phones)
-        reports = sum(p.user.reports_filed for p in self.phones)
-        return {
-            "misbehaviors_perceived": float(misbehaviors),
-            "user_reports": float(reports),
-            "freezes": float(freezes),
-            "self_shutdowns": float(self_shutdowns),
-            "user_shutdowns": float(user_shutdowns),
-            "lowbt_shutdowns": float(lowbt),
-            "panics": float(panics),
-            "boots": float(boots),
-            "observed_hours": observed_hours,
-        }
+        return accumulate_ground_truth(self.per_phone_ground_truth())
+
+
+#: Keys of the :meth:`Fleet.ground_truth` dict, in its output order.
+GROUND_TRUTH_KEYS: Tuple[str, ...] = (
+    "misbehaviors_perceived",
+    "user_reports",
+    "freezes",
+    "self_shutdowns",
+    "user_shutdowns",
+    "lowbt_shutdowns",
+    "panics",
+    "boots",
+    "observed_hours",
+)
+
+
+def accumulate_ground_truth(
+    per_phone: Iterable[Dict[str, float]],
+) -> Dict[str, float]:
+    """Fold per-phone ground-truth partials into fleet totals.
+
+    The fold visits phones in the given order; pass partials in global
+    phone-index order to reproduce a monolithic fleet's float sums
+    exactly (all entries except ``observed_hours`` are integer-valued,
+    so only that key is order-sensitive in principle).
+    """
+    totals = {key: 0.0 for key in GROUND_TRUTH_KEYS}
+    for part in per_phone:
+        for key in GROUND_TRUTH_KEYS:
+            totals[key] += part[key]
+    return totals

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis.output_failures import (
     compute_output_failures,
-    _covered_seconds,
+    covered_seconds,
 )
 from repro.core.clock import HOUR
 from repro.core.engine import Simulator
@@ -171,10 +171,10 @@ class TestOutputFailureAnalysis:
 
     def test_covered_seconds_merges_overlaps(self):
         # [50,150] U [100,200] = [50,200] -> 150 s.
-        assert _covered_seconds([100.0, 150.0], 50.0) == pytest.approx(150.0)
+        assert covered_seconds([100.0, 150.0], 50.0) == pytest.approx(150.0)
         # Disjoint windows add up.
-        assert _covered_seconds([100.0, 400.0], 50.0) == pytest.approx(200.0)
-        assert _covered_seconds([], 50.0) == 0.0
+        assert covered_seconds([100.0, 400.0], 50.0) == pytest.approx(200.0)
+        assert covered_seconds([], 50.0) == 0.0
 
 
 class TestOnRealCampaign:

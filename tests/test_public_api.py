@@ -85,6 +85,7 @@ MODULES = [
     "repro.analysis.downtime",
     "repro.analysis.tables",
     "repro.analysis.report",
+    "repro.analysis.streaming",
     "repro.experiments.config",
     "repro.experiments.campaign",
     "repro.experiments.paper",
@@ -92,6 +93,7 @@ MODULES = [
     "repro.experiments.runner",
     "repro.experiments.cache",
     "repro.experiments.summary",
+    "repro.experiments.shard",
     "repro.robustness.plan",
     "repro.robustness.injectors",
     "repro.robustness.experiment",

@@ -1,0 +1,209 @@
+"""Differential oracle: sharded campaigns reproduce the monolithic run.
+
+The whole point of :mod:`repro.experiments.shard` is that splitting one
+campaign into K per-phone-range shards changes *nothing* about the
+result — not one bit of the :class:`CampaignSummary`.  These tests pin
+that contract against a monolithic baseline for K ∈ {1, 3, 7, 25},
+through both ingest pipelines, under a process pool, through the shard
+cache, and with collection-path fault injection enabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.ingest import PIPELINE_TEXT
+from repro.core.clock import MONTH
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import CampaignConfig
+from repro.experiments.shard import (
+    ShardResult,
+    ShardTask,
+    merge_ingest_reports,
+    merge_shards,
+    plan_shards,
+    run_sharded_campaign,
+    shard_cache,
+)
+from repro.experiments.summary import (
+    SUMMARY_FORMAT_VERSION,
+    CampaignSummary,
+    headline_figures,
+)
+from repro.phone.fleet import FleetConfig
+from repro.robustness.experiment import run_faulty_campaign
+from repro.robustness.plan import FaultPlan
+
+
+def make_config(seed: int = 4242) -> CampaignConfig:
+    """The oracle campaign: 25 phones, 1 month, early enrollment."""
+    fleet = FleetConfig(
+        phone_count=25,
+        duration=MONTH,
+        enroll_fraction_min=0.0,
+        enroll_fraction_max=0.15,
+    )
+    return CampaignConfig(fleet=fleet, seed=seed)
+
+
+def canonical(summary_dict: dict) -> str:
+    return json.dumps(summary_dict, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def config() -> CampaignConfig:
+    return make_config()
+
+
+@pytest.fixture(scope="module")
+def monolithic(config) -> CampaignSummary:
+    """The batch-pipeline baseline, computed once for the module."""
+    return CampaignSummary.from_result(run_campaign(config))
+
+
+@pytest.mark.parametrize("shards", [1, 3, 7, 25], ids=lambda k: f"K={k}")
+def test_sharded_summary_is_bit_identical(shards, config, monolithic):
+    result = run_sharded_campaign(config, shards=shards)
+    assert canonical(result.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+    assert headline_figures(result.summary) == headline_figures(monolithic)
+    assert result.shard_count == shards
+    starts = [start for start, _stop in result.shard_ranges]
+    assert starts == sorted(starts)
+
+
+def test_text_pipeline_shards_match_monolithic(config, monolithic):
+    """The serialize→reparse door shards identically to the fast path."""
+    result = run_sharded_campaign(config, shards=3, pipeline=PIPELINE_TEXT)
+    assert canonical(result.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+
+
+def test_process_pool_shards_match_monolithic(config, monolithic):
+    result = run_sharded_campaign(config, shards=4, workers=2)
+    assert canonical(result.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+
+
+def test_faulty_campaign_shards_match_monolithic(config):
+    """Fault injection is per-phone-seeded, so it shards bit-for-bit:
+    same summary, same quarantine accounting, in both pipelines."""
+    plan = FaultPlan.mild(seed=777)
+    for pipeline in ("structured", PIPELINE_TEXT):
+        outcome = run_faulty_campaign(config, plan, pipeline=pipeline)
+        result = run_sharded_campaign(
+            config, shards=5, plan=plan, pipeline=pipeline
+        )
+        assert canonical(result.summary.to_dict()) == canonical(
+            outcome.summary.to_dict()
+        )
+        assert result.ingest.quarantined == outcome.ingest["quarantined"]
+        assert result.ingest.to_dict()["by_class"] == outcome.ingest["by_class"]
+        assert result.ingest.to_dict()["by_phone"] == outcome.ingest["by_phone"]
+
+
+def test_shard_cache_round_trip(tmp_path, config, monolithic):
+    """A second sharded run is all cache hits and still bit-identical."""
+    cache = shard_cache(str(tmp_path))
+    first = run_sharded_campaign(config, shards=3, cache=cache)
+    assert cache.misses == 3
+    assert cache.hits == 0
+    second = run_sharded_campaign(config, shards=3, cache=cache)
+    assert cache.hits == 3
+    assert canonical(second.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+    assert canonical(first.summary.to_dict()) == canonical(
+        second.summary.to_dict()
+    )
+
+
+def test_shard_cache_evicts_foreign_entries(tmp_path, config):
+    """A summary-format payload in a shard slot is evicted as corrupt,
+    not misread — the loaders' ValueError contract in action."""
+    cache = shard_cache(str(tmp_path))
+    shard_configs = plan_shards(config, 2)
+    path = cache.path_for(shard_configs[0])
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "key": path.rsplit("/", 1)[-1][: -len(".json")],
+                "format_version": SUMMARY_FORMAT_VERSION,
+                "summary": {"not": "a shard result"},
+            },
+            handle,
+        )
+    assert cache.get(shard_configs[0]) is None
+    assert cache.evictions == 1
+
+
+def test_plan_shards_tiles_exactly(config):
+    for shards in (1, 2, 3, 7, 24, 25):
+        configs = plan_shards(config, shards)
+        assert len(configs) == shards
+        expected = 0
+        for shard_config in configs:
+            start, stop = shard_config.fleet.phone_range
+            assert start == expected
+            assert stop > start
+            expected = stop
+        assert expected == config.fleet.phone_count
+        sizes = [
+            stop - start
+            for start, stop in (c.fleet.phone_range for c in configs)
+        ]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_plan_shards_rejects_bad_plans(config):
+    with pytest.raises(ValueError, match="shards must be >= 1"):
+        plan_shards(config, 0)
+    with pytest.raises(ValueError, match="cannot split"):
+        plan_shards(config, config.fleet.phone_count + 1)
+    sliced = plan_shards(config, 2)[0]
+    with pytest.raises(ValueError, match="already a slice"):
+        plan_shards(sliced, 2)
+
+
+def test_merge_rejects_incomplete_or_overlapping_tilings(config):
+    task = ShardTask()
+    results = [task(c) for c in plan_shards(config, 3)]
+    with pytest.raises(ValueError, match="shard ranges"):
+        merge_shards(results[:-1], config)
+    with pytest.raises(ValueError, match="shard ranges"):
+        merge_shards(results + [results[-1]], config)
+    with pytest.raises(ValueError, match="no shard results"):
+        merge_shards([], config)
+    full = merge_shards(results, config)
+    assert full.to_dict() == merge_shards(list(reversed(results)), config).to_dict()
+    assert merge_ingest_reports(results).quarantined == sum(
+        r.ingest.quarantined for r in results
+    )
+
+
+def test_shard_result_wire_round_trip(config):
+    result = ShardTask()(plan_shards(config, 25)[0])
+    revived = ShardResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert revived.phone_range == result.phone_range
+    assert revived.accumulator == result.accumulator
+    assert revived.ground_truth == result.ground_truth
+    assert revived.ingest.to_dict() == result.ingest.to_dict()
+
+
+def test_shard_result_rejects_bad_payloads(config):
+    result = ShardTask()(plan_shards(config, 25)[0])
+    payload = result.to_dict()
+    stale = dict(payload, format_version=999)
+    with pytest.raises(ValueError, match="format version"):
+        ShardResult.from_dict(stale)
+    broken = json.loads(json.dumps(payload))
+    broken["accumulator"]["format_version"] = 999
+    with pytest.raises(ValueError, match="bad shard accumulator"):
+        ShardResult.from_dict(broken)
+    with pytest.raises((ValueError, KeyError, TypeError)):
+        ShardResult.from_dict({"summary": "foreign"})

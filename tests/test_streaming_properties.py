@@ -1,0 +1,193 @@
+"""Property tests for the streaming accumulators (:mod:`repro.analysis.streaming`).
+
+The shard pipeline is only sound if accumulator merge behaves like a
+commutative monoid over disjoint phone sets *and* merging per-phone
+singletons reproduces the batch computation exactly.  These tests drive
+every section accumulator and :class:`CampaignAccumulator` with seeded
+random record streams (:func:`tests.helpers.random_fleet_records`) and
+check each algebraic law against full ``to_dict`` payloads.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.report import build_report
+from repro.analysis.streaming import (
+    SECTION_ACCUMULATORS,
+    CampaignAccumulator,
+    PhoneAccumulator,
+)
+from repro.core.errors import AnalysisError
+from tests.helpers import dataset_from_records, random_fleet_records
+
+END_TIME = 30 * 24 * 3600.0
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+phone_counts = st.integers(min_value=1, max_value=5)
+
+
+def build_accumulators(seed: int, phones: int):
+    """The full-fleet accumulator plus one singleton per phone."""
+    records = random_fleet_records(seed, phones, END_TIME)
+    full = CampaignAccumulator.from_dataset(
+        dataset_from_records(records, END_TIME)
+    )
+    singletons = [
+        CampaignAccumulator.from_dataset(
+            dataset_from_records({phone_id: phone_records}, END_TIME)
+        )
+        for phone_id, phone_records in records.items()
+    ]
+    return records, full, singletons
+
+
+@given(seed=seeds, phones=phone_counts)
+@settings(max_examples=25, deadline=None)
+def test_merge_of_singletons_equals_batch(seed, phones):
+    """Folding per-phone singletons in a random order reproduces the
+    batch accumulator state *and* the batch report, bit-identically."""
+    records, full, singletons = build_accumulators(seed, phones)
+    random.Random(seed ^ 0xA5A5).shuffle(singletons)
+    merged = functools.reduce(
+        lambda a, b: a.merge(b), singletons, CampaignAccumulator(END_TIME)
+    )
+    assert merged == full
+    assert merged.to_dict() == full.to_dict()
+    batch = build_report(dataset_from_records(records, END_TIME)).to_dict()
+    assert merged.sections() == batch
+
+
+@given(seed=seeds, phones=st.integers(min_value=3, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_merge_is_associative(seed, phones):
+    _records, _full, parts = build_accumulators(seed, phones)
+    a, b = parts[0], parts[1]
+    c = functools.reduce(lambda x, y: x.merge(y), parts[2:])
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left == right
+    assert left.to_dict() == right.to_dict()
+
+
+@given(seed=seeds, phones=st.integers(min_value=2, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_merge_is_commutative(seed, phones):
+    _records, _full, parts = build_accumulators(seed, phones)
+    split = len(parts) // 2
+    a = functools.reduce(lambda x, y: x.merge(y), parts[:split] or [CampaignAccumulator(END_TIME)])
+    b = functools.reduce(lambda x, y: x.merge(y), parts[split:])
+    forward = a.merge(b)
+    backward = b.merge(a)
+    assert forward == backward
+    assert forward.sections() == backward.sections()
+
+
+@given(seed=seeds, phones=phone_counts)
+@settings(max_examples=25, deadline=None)
+def test_empty_accumulator_is_merge_identity(seed, phones):
+    _records, full, _parts = build_accumulators(seed, phones)
+    empty = CampaignAccumulator(END_TIME)
+    assert empty.merge(full) == full
+    assert full.merge(empty) == full
+    assert empty.merge(empty).phone_count == 0
+
+
+@given(seed=seeds, phones=phone_counts)
+@settings(max_examples=25, deadline=None)
+def test_wire_round_trip_preserves_state_and_sections(seed, phones):
+    """to_dict -> JSON -> from_dict is lossless, even for finalize."""
+    _records, full, _parts = build_accumulators(seed, phones)
+    revived = CampaignAccumulator.from_dict(
+        json.loads(json.dumps(full.to_dict()))
+    )
+    assert revived == full
+    assert revived.sections() == full.sections()
+
+
+@given(seed=seeds, phones=phone_counts)
+@settings(max_examples=10, deadline=None)
+def test_merge_rejects_overlapping_phones(seed, phones):
+    _records, full, parts = build_accumulators(seed, phones)
+    with pytest.raises(AnalysisError, match="double-count"):
+        full.merge(parts[0])
+
+
+def test_merge_rejects_mismatched_knobs():
+    base = CampaignAccumulator(END_TIME)
+    for other in (
+        CampaignAccumulator(END_TIME + 1.0),
+        CampaignAccumulator(END_TIME, window=123.0),
+        CampaignAccumulator(END_TIME, gap=7.0),
+        CampaignAccumulator(END_TIME, threshold=9.0),
+    ):
+        with pytest.raises(AnalysisError, match="cannot merge"):
+            base.merge(other)
+
+
+def test_rejects_nonpositive_knobs():
+    with pytest.raises(AnalysisError):
+        CampaignAccumulator(0.0)
+    with pytest.raises(AnalysisError):
+        CampaignAccumulator(END_TIME, window=0.0)
+    with pytest.raises(AnalysisError):
+        CampaignAccumulator(END_TIME, gap=-1.0)
+
+
+def test_from_dict_rejects_unknown_format_version():
+    payload = CampaignAccumulator(END_TIME).to_dict()
+    payload["format_version"] = 999
+    with pytest.raises(AnalysisError, match="format version"):
+        CampaignAccumulator.from_dict(payload)
+
+
+# -- section-level laws, one parametrized pass per accumulator class ----------
+
+
+@pytest.mark.parametrize("name", sorted(SECTION_ACCUMULATORS), ids=str)
+@given(seed=seeds, phones=st.integers(min_value=2, max_value=4))
+@settings(max_examples=15, deadline=None)
+def test_section_accumulator_laws(name, seed, phones):
+    """Each section accumulator is itself a mergeable monoid whose wire
+    format round-trips and whose merge refuses phone overlap."""
+    cls = SECTION_ACCUMULATORS[name]
+    _records, full, parts = build_accumulators(seed, phones)
+    section_full = full.accumulators[name]
+    section_parts = [part.accumulators[name] for part in parts]
+
+    random.Random(seed ^ 0x0F0F).shuffle(section_parts)
+    merged = functools.reduce(lambda a, b: a.merge(b), section_parts, cls())
+    assert merged == section_full
+    assert merged.to_dict() == section_full.to_dict()
+
+    a, rest = section_parts[0], section_parts[1:]
+    b = functools.reduce(lambda x, y: x.merge(y), rest)
+    assert a.merge(b) == b.merge(a)
+    assert cls().merge(merged) == merged
+
+    revived = cls.from_dict(json.loads(json.dumps(merged.to_dict())))
+    assert type(revived) is cls
+    assert revived.phones.keys() == merged.phones.keys()
+
+    with pytest.raises(AnalysisError, match="double-count"):
+        merged.merge(section_parts[0])
+
+
+def test_section_accumulators_reject_cross_type_merge():
+    classes = sorted(SECTION_ACCUMULATORS.items())
+    (_na, cls_a), (_nb, cls_b) = classes[0], classes[1]
+    with pytest.raises(AnalysisError, match="cannot merge"):
+        cls_a().merge(cls_b())
+
+
+def test_add_phone_rejects_duplicate():
+    acc = PhoneAccumulator()
+    acc.add_phone("phone-00", {"x": 1})
+    with pytest.raises(AnalysisError, match="double-count"):
+        acc.add_phone("phone-00", {"x": 2})
