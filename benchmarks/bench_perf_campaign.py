@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.experiments.config import CampaignConfig
 from repro.experiments.perf import (
+    check_counters,
     check_regression,
     load_baseline,
     measure_campaign,
@@ -43,8 +44,14 @@ def test_perf_smoke_campaign():
         json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    # The simulation itself must be deterministic regardless of speed.
+    # The simulation itself must be deterministic regardless of speed:
+    # every headline telemetry counter must match the committed
+    # baseline bit-exactly (the hot-path fast paths are only
+    # admissible while the campaign is observably unchanged).
     assert result.events_fired == baseline["optimized"]["events_fired"]
+    ok, message = check_counters(result, baseline)
+    print(message)
+    assert ok, message
 
     ok, message = check_regression(result, baseline)
     print(message)

@@ -63,6 +63,7 @@ from repro.experiments.compare import headline_comparison
 from repro.experiments.config import CampaignConfig
 from repro.experiments.perf import (
     DEFAULT_REGRESSION_THRESHOLD,
+    check_counters,
     check_regression,
     load_baseline,
     measure_campaign,
@@ -208,6 +209,11 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
         help="regression factor for --check-against (default: 2.0)",
+    )
+    perf.add_argument(
+        "--check-counters", metavar="FILE", default=None,
+        help="assert the headline telemetry counters match the "
+        "baseline JSON bit-exactly (no tolerance); exit 1 on any drift",
     )
     perf.add_argument(
         "--trace", metavar="FILE", default=None, dest="trace_path",
@@ -479,6 +485,25 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             result, baseline, threshold=args.threshold
         )
         print(("OK: " if ok else "REGRESSION: ") + message)
+        if not ok:
+            return 1
+    if args.check_counters:
+        if not args.counters:
+            print(
+                "--check-counters needs the counters run; drop --no-counters",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            baseline = load_baseline(args.check_counters)
+            ok, message = check_counters(result, baseline)
+        except (OSError, ValueError) as exc:
+            print(
+                f"cannot check counters against {args.check_counters!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        print(("OK: " if ok else "DIVERGENCE: ") + message)
         if not ok:
             return 1
     return 0

@@ -16,6 +16,16 @@ keeps iterating its original.  At paper scale this removes ~264k list
 copies per campaign.  Removal is an O(1) dict delete keyed by the
 subscription handle, so churn-heavy topics (one subscription per AO per
 power cycle) never pay a linear scan.
+
+Most topics in the simulated phone have exactly one subscriber (each
+logger AO owns its event source), so the bus keeps a ``topic ->
+handler`` cache of solo subscriptions and ``publish`` calls the cached
+handler directly — no table iteration and no copy-on-write guard.
+Skipping the guard is safe precisely because the solo path never
+iterates a table: a subscribe/cancel from inside the handler mutates
+tables nobody is walking (any *outer* multi-handler publish still holds
+its own ``_delivering`` increment), and snapshot semantics hold because
+the handler was chosen before it could mutate anything.
 """
 
 from __future__ import annotations
@@ -51,12 +61,15 @@ class Subscription:
 class EventBus:
     """Topic string -> insertion-ordered subscription table."""
 
-    __slots__ = ("_topics", "_delivering", "publishes", "deliveries")
+    __slots__ = ("_topics", "_solo", "_delivering", "publishes", "deliveries")
 
     def __init__(self) -> None:
         # topic -> {subscription: handler}; dicts preserve insertion
         # order, giving subscription-order delivery for free.
         self._topics: Dict[str, Dict[Subscription, Handler]] = {}
+        # topic -> handler, only for topics with exactly one
+        # subscription (the overwhelmingly common case).
+        self._solo: Dict[str, Handler] = {}
         # Number of publishes currently on the stack (any topic).  While
         # non-zero, mutations copy-on-write instead of mutating tables.
         self._delivering = 0
@@ -75,12 +88,15 @@ class EventBus:
         table = self._topics.get(topic)
         if table is None:
             self._topics[topic] = {subscription: handler}
+            self._solo[topic] = handler
         elif self._delivering:
             table = dict(table)
             table[subscription] = handler
             self._topics[topic] = table
+            self._solo.pop(topic, None)
         else:
             table[subscription] = handler
+            self._solo.pop(topic, None)
         return subscription
 
     def publish(self, topic: str, *args: Any, **kwargs: Any) -> int:
@@ -91,8 +107,18 @@ class EventBus:
         while publishing still do (the delivery snapshot is fixed when
         the publish starts).
         """
-        table = self._topics.get(topic)
         self.publishes += 1
+        handler = self._solo.get(topic)
+        if handler is not None:
+            # Solo fast path — see module docstring for why skipping
+            # the _delivering guard is sound here.
+            self.deliveries += 1
+            if kwargs:
+                handler(*args, **kwargs)
+            else:
+                handler(*args)
+            return 1
+        table = self._topics.get(topic)
         if table is None:
             return 0
         self.deliveries += len(table)
@@ -130,3 +156,8 @@ class EventBus:
             del table[subscription]
             if not table:
                 del self._topics[topic]
+                table = None
+        if table is not None and len(table) == 1:
+            self._solo[topic] = next(iter(table.values()))
+        else:
+            self._solo.pop(topic, None)

@@ -19,9 +19,14 @@ from __future__ import annotations
 import hashlib
 import math
 import random
+from bisect import bisect_right
 from typing import Dict, Mapping, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
+
+#: Kinderman–Monahan ratio-method constant, exactly as in
+#: ``random.Random.normalvariate`` (see the note on that method below).
+_NV_MAGICCONST = 4 * math.exp(-0.5) / math.sqrt(2.0)
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -31,14 +36,32 @@ def derive_seed(root_seed: int, name: str) -> int:
 
 
 class Stream:
-    """A single random stream with the distribution helpers the models need."""
+    """A single random stream with the distribution helpers the models need.
+
+    The hot helpers (``uniform``/``exponential``/``lognormal_median``)
+    inline the corresponding ``random.Random`` method bodies instead of
+    delegating: the user model draws from them a few hundred thousand
+    times per paper campaign, and the stdlib wrapper frames were a
+    measurable slice of simulate wall time.  Each inlined body keeps
+    the *exact* arithmetic and underlying ``random()`` consumption of
+    its stdlib counterpart, so streams stay bit-for-bit identical —
+    the differential campaign tests pin this.
+    """
+
+    __slots__ = ("_rng", "_random", "_weight_tables")
 
     def __init__(self, seed: int) -> None:
         self._rng = random.Random(seed)
+        # The one C-level primitive every inlined helper consumes.
+        self._random = self._rng.random
+        # weighted_choice cumulative tables, keyed by mapping identity;
+        # holding the mapping itself keeps the id from being recycled.
+        self._weight_tables: Dict[int, tuple] = {}
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in ``[low, high)``."""
-        return self._rng.uniform(low, high)
+        # Same expression as random.Random.uniform.
+        return low + (high - low) * self._random()
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in ``[low, high]`` inclusive."""
@@ -46,11 +69,11 @@ class Stream:
 
     def random(self) -> float:
         """Uniform float in ``[0, 1)``."""
-        return self._rng.random()
+        return self._random()
 
     def bernoulli(self, p: float) -> bool:
         """True with probability ``p``."""
-        return self._rng.random() < p
+        return self._random() < p
 
     def exponential(self, mean: float) -> float:
         """Exponential inter-arrival time with the given mean.
@@ -60,7 +83,11 @@ class Stream:
         """
         if mean <= 0:
             raise ValueError(f"exponential mean must be positive, got {mean}")
-        return self._rng.expovariate(1.0 / mean)
+        # random.Random.expovariate inlined, including the double
+        # reciprocal: x / (1/mean) is NOT x * mean in floating point,
+        # and the streams must not move.
+        lambd = 1.0 / mean
+        return -math.log(1.0 - self._random()) / lambd
 
     def lognormal_median(self, median: float, sigma: float) -> float:
         """Lognormal draw parameterized by its median and log-space sigma.
@@ -70,7 +97,17 @@ class Stream:
         """
         if median <= 0:
             raise ValueError(f"lognormal median must be positive, got {median}")
-        return self._rng.lognormvariate(math.log(median), sigma)
+        # exp(normalvariate(log(median), sigma)), with normalvariate's
+        # Kinderman–Monahan loop inlined — see normal() below.
+        random = self._random
+        mu = math.log(median)
+        while True:
+            u1 = random()
+            u2 = 1.0 - random()
+            z = _NV_MAGICCONST * (u1 - 0.5) / u2
+            if z * z / 4.0 <= -math.log(u2):
+                break
+        return math.exp(mu + z * sigma)
 
     def normal(self, mu: float, sigma: float, minimum: float = 0.0) -> float:
         """Normal draw truncated below at ``minimum`` (resampling)."""
@@ -99,30 +136,42 @@ class Stream:
 
         Iteration order of the mapping determines the cumulative layout,
         so pass an ordered mapping (all dicts are, in supported Pythons)
-        for reproducibility.
+        for reproducibility.  The cumulative table is cached per mapping
+        object (the user model draws from the same catalog tens of
+        thousands of times per campaign), so treat the mapping as frozen
+        after the first draw — mutations are not picked up.
 
         Raises:
             ValueError: if the mapping is empty or the total weight is
                 not positive.
         """
-        if not weights:
-            raise ValueError("weighted_choice over empty mapping")
-        total = float(sum(weights.values()))
-        if total <= 0:
-            raise ValueError(f"total weight must be positive, got {total}")
-        target = self._rng.random() * total
-        acc = 0.0
-        last = None
-        for key, weight in weights.items():
-            if weight < 0:
-                raise ValueError(f"negative weight for {key!r}: {weight}")
-            acc += weight
-            last = key
-            if target < acc:
-                return key
-        # Floating-point round-off can leave target == acc; return the
-        # final key in that case.
-        return last  # type: ignore[return-value]
+        table = self._weight_tables.get(id(weights))
+        if table is None or table[0] is not weights:
+            if not weights:
+                raise ValueError("weighted_choice over empty mapping")
+            total = float(sum(weights.values()))
+            if total <= 0:
+                raise ValueError(f"total weight must be positive, got {total}")
+            keys = []
+            cumulative = []
+            acc = 0.0
+            for key, weight in weights.items():
+                if weight < 0:
+                    raise ValueError(f"negative weight for {key!r}: {weight}")
+                acc += weight
+                keys.append(key)
+                cumulative.append(acc)
+            table = (weights, keys, cumulative, total)
+            self._weight_tables[id(weights)] = table
+        _weights, keys, cumulative, total = table
+        target = self._random() * total
+        # First key whose cumulative weight exceeds target — the same
+        # selection the linear scan made (same left-to-right float
+        # accumulation, target < acc), via bisect.  Floating-point
+        # round-off can leave target >= the final cumulative value;
+        # clamp to the last key, as before.
+        index = bisect_right(cumulative, target)
+        return keys[index if index < len(keys) else -1]
 
     def discard(self, count: int) -> None:
         """Advance the stream past ``count`` single-variate draws.

@@ -29,6 +29,7 @@ hundreds of thousands of records per campaign.)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from sys import intern as _intern_str
 from typing import Dict, List, Sequence, Tuple, Type
 
 from repro.core.errors import LogFormatError
@@ -58,6 +59,37 @@ POWER_DISCHARGING = "discharging"
 POWER_CHARGING = "charging"
 POWER_LOW = "low"
 POWER_STATES = (POWER_DISCHARGING, POWER_CHARGING, POWER_LOW)
+
+
+def _wire_interner() -> Dict[str, str]:
+    """Canonical instances of every enumerated wire string.
+
+    Built after the constants below are defined; used by the
+    ``from_fields`` parsers so a parsed record's payload strings are
+    the module-level constants themselves rather than fresh per-record
+    allocations (hundreds of thousands of ``"voice_call"``/``"ALIVE"``
+    copies per campaign otherwise).  Identity-sharing also makes every
+    downstream equality check on these fields an identity hit.
+    """
+    return {
+        value: value
+        for value in (
+            BEAT_KINDS
+            + ACTIVITY_KINDS
+            + (PHASE_START, PHASE_END)
+            + POWER_STATES
+            + REPORT_KINDS
+        )
+    }
+
+
+def intern_wire(value: str) -> str:
+    """Map an enumerated wire string to its canonical instance.
+
+    Unknown strings pass through untouched — validation stays where it
+    always was (the record constructors).
+    """
+    return _WIRE_STRINGS.get(value, value)
 
 
 def _parse_float(value: str, context: str) -> float:
@@ -153,7 +185,7 @@ class BootRecord:
             raise LogFormatError(f"BOOT expects 3 fields, got {len(fields)}")
         return cls(
             time=_parse_float(fields[0], "BOOT"),
-            last_beat_kind=fields[1],
+            last_beat_kind=intern_wire(fields[1]),
             last_beat_time=_parse_float(fields[2], "BOOT"),
         )
 
@@ -213,8 +245,8 @@ class ActivityRecord:
             raise LogFormatError(f"ACT expects 3 fields, got {len(fields)}")
         return cls(
             time=_parse_float(fields[0], "ACT"),
-            kind=fields[1],
-            phase=fields[2],
+            kind=intern_wire(fields[1]),
+            phase=intern_wire(fields[2]),
         )
 
 
@@ -235,7 +267,13 @@ class RunningAppsRecord:
         if len(fields) != 2:
             raise LogFormatError(f"RUNAPP expects 2 fields, got {len(fields)}")
         raw = fields[1]
-        apps = tuple(part for part in raw.split(",") if part) if raw else ()
+        # App ids repeat across hundreds of thousands of snapshots;
+        # sys.intern collapses the duplicates the split allocates.
+        apps = (
+            tuple(_intern_str(part) for part in raw.split(",") if part)
+            if raw
+            else ()
+        )
         return cls(time=_parse_float(fields[0], "RUNAPP"), apps=apps)
 
 
@@ -263,7 +301,7 @@ class PowerRecord:
         return cls(
             time=_parse_float(fields[0], "POWER"),
             level=_parse_float(fields[1], "POWER"),
-            state=fields[2],
+            state=intern_wire(fields[2]),
         )
 
 
@@ -273,6 +311,8 @@ REPORT_OUTPUT_FAILURE = "output_failure"
 REPORT_INPUT_FAILURE = "input_failure"
 REPORT_UNSTABLE = "unstable_behavior"
 REPORT_KINDS = (REPORT_OUTPUT_FAILURE, REPORT_INPUT_FAILURE, REPORT_UNSTABLE)
+
+_WIRE_STRINGS = _wire_interner()
 
 
 @dataclass(slots=True, unsafe_hash=True)
@@ -301,7 +341,7 @@ class UserReportRecord:
     def from_fields(cls, fields: Sequence[str]) -> "UserReportRecord":
         if len(fields) != 2:
             raise LogFormatError(f"UREPORT expects 2 fields, got {len(fields)}")
-        return cls(time=_parse_float(fields[0], "UREPORT"), kind=fields[1])
+        return cls(time=_parse_float(fields[0], "UREPORT"), kind=intern_wire(fields[1]))
 
 
 RecordType = Type

@@ -291,6 +291,51 @@ def baseline_wall_seconds(baseline: Dict[str, Any]) -> float:
     return float(baseline["wall_seconds"])
 
 
+def baseline_counters(baseline: Dict[str, Any]) -> Dict[str, float]:
+    """The committed headline counter totals inside a benchmark snapshot.
+
+    Accepts either a bare :meth:`PerfResult.to_dict` dump (counters at
+    the top level) or the committed ``BENCH_campaign.json`` shape
+    (under ``"optimized"``).
+
+    Raises:
+        ValueError: if the snapshot carries no counters.
+    """
+    source = baseline.get("optimized", baseline)
+    counters = source.get("counters")
+    if not counters:
+        raise ValueError("baseline snapshot has no 'counters' section")
+    return {name: float(value) for name, value in counters.items()}
+
+
+def check_counters(
+    result: PerfResult, baseline: Dict[str, Any]
+) -> Tuple[bool, str]:
+    """Bit-exact identity check of headline telemetry counters.
+
+    The hot-path optimisations are only admissible while the simulated
+    campaign is *observably unchanged*, and the committed counter
+    totals are the cheapest observable: any drift in event scheduling,
+    bus traffic, or logger dispatch shows up here as an integer
+    mismatch.  Unlike :func:`check_regression` there is no tolerance —
+    every counter named in the baseline must match exactly.
+    """
+    reference = baseline_counters(baseline)
+    measured = result.counter_totals
+    if measured is None:
+        return False, "no counters measured (run with counters=True)"
+    mismatches = []
+    for name, expected in sorted(reference.items()):
+        actual = measured.get(name)
+        if actual is None:
+            mismatches.append(f"{name}: missing (expected {expected:g})")
+        elif float(actual) != expected:
+            mismatches.append(f"{name}: {actual:g} != {expected:g}")
+    if mismatches:
+        return False, "counter identity broken: " + "; ".join(mismatches)
+    return True, f"{len(reference)} counters bit-identical to baseline"
+
+
 def check_regression(
     result: PerfResult,
     baseline: Dict[str, Any],

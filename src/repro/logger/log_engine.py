@@ -12,6 +12,7 @@ from repro.core.records import ActivityRecord
 from repro.logger.ao_base import SubscribingAO
 from repro.logger.logfile import LogStorage
 from repro.symbian.active import PRIORITY_STANDARD, CActiveScheduler
+from repro.symbian.errors import Leave
 from repro.symbian.servers.logdb import TOPIC_LOG_EVENT, LogEvent
 
 
@@ -19,13 +20,55 @@ class LogEngine(SubscribingAO):
     """Logs call/message transitions into the activity stream."""
 
     def __init__(self, scheduler: CActiveScheduler, storage: LogStorage, bus) -> None:
+        # Fields first: super().__init__ subscribes, which builds the
+        # fused fast path from them (_fast_payload_handler below).
+        self._storage = storage
+        self._append = storage.record_sink  # bound builtin; hot path
+        self.events_recorded = 0
         super().__init__(
             scheduler, bus, TOPIC_LOG_EVENT, priority=PRIORITY_STANDARD,
             name="LogEngine",
         )
-        self._storage = storage
-        self._append = storage.append_record  # bound once; hot path
-        self.events_recorded = 0
+
+    def _make_on_event(self):
+        # Fully fused dispatch for the activity stream (one call per
+        # call/message transition): idle-scheduler guard plus the
+        # record write in a single closure.  Must stay observably
+        # identical to the base on_event + handle_payload pair, which
+        # still serves the queued path.
+        self_ = self
+        status = self.i_status
+        scheduler = self.scheduler
+        queue = self._queue
+        append = self._append
+
+        def on_event(event: LogEvent) -> None:
+            if self_.is_active and status._pending:
+                if not scheduler._signals and not scheduler._ready and not queue:
+                    scheduler.dispatched += 1
+                    try:
+                        append(
+                            ActivityRecord(
+                                time=round(event.time, 3),
+                                kind=event.kind,
+                                phase=event.phase,
+                            )
+                        )
+                        self_.events_recorded += 1
+                    except Leave as leave:
+                        status.value = 0
+                        status._pending = False
+                        self_.is_active = False
+                        if not self_.run_error(leave.code):
+                            scheduler.error(leave.code, self_)
+                    return
+                queue.append((event,))
+                status.complete(0)
+            else:
+                queue.append((event,))
+            scheduler.run_until_idle()
+
+        return on_event
 
     def handle_payload(self, event: LogEvent) -> None:
         # round(t, 3) is wire_time() inlined (hot: one call per activity

@@ -129,7 +129,7 @@ class LogStorage:
     so repeated syncs ship only new data.
     """
 
-    __slots__ = ("phone_id", "_entries", "last_runapps")
+    __slots__ = ("phone_id", "_entries", "last_runapps", "record_sink")
 
     def __init__(self, phone_id: str = "") -> None:
         self.phone_id = phone_id
@@ -138,6 +138,11 @@ class LogStorage:
         #: Applications Detector so the dedupe check survives reboots
         #: (the detector is recreated every power cycle, flash is not).
         self.last_runapps: Optional[Tuple[str, ...]] = None
+        #: Frame-free append for the per-event logger hot paths: the
+        #: bound builtin is ``append_record`` minus the method frame.
+        #: Valid for the storage's whole life (``_entries`` is mutated,
+        #: never rebound).
+        self.record_sink = self._entries.append
 
     def append_record(self, record) -> None:
         """Append one record (serialized lazily, on first text access)."""

@@ -19,10 +19,12 @@ byte-identical either way.
 
 from __future__ import annotations
 
+from repro.core.clock import SimClock
 from repro.core.records import RunningAppsRecord
 from repro.logger.ao_base import SubscribingAO
 from repro.logger.logfile import LogStorage
 from repro.symbian.active import PRIORITY_LOW, CActiveScheduler
+from repro.symbian.errors import Leave
 from repro.symbian.servers.apparch import TOPIC_APPS_CHANGED, AppArchServer
 
 
@@ -38,21 +40,82 @@ class RunningAppsDetector(SubscribingAO):
         time_fn,
         dedupe: bool = True,
     ) -> None:
-        super().__init__(
-            scheduler, bus, TOPIC_APPS_CHANGED, priority=PRIORITY_LOW,
-            name="RunningAppsDetector",
-        )
+        # Fields first: super().__init__ subscribes, which builds the
+        # fused fast path from them (_fast_payload_handler below).
         self._storage = storage
-        self._append = storage.append_record  # bound once; hot path
+        self._append = storage.record_sink  # bound builtin; hot path
         self._apparch = apparch
         self._time_fn = time_fn
         self._dedupe = dedupe
         self.snapshots = 0
         self.snapshots_skipped = 0
+        super().__init__(
+            scheduler, bus, TOPIC_APPS_CHANGED, priority=PRIORITY_LOW,
+            name="RunningAppsDetector",
+        )
 
     def record_initial_snapshot(self) -> None:
         """Write the running set as of daemon start."""
         self.handle_payload(self._apparch.running_apps())
+
+    def _make_on_event(self):
+        # The single hottest logger path (one call per running-set
+        # change): the whole dispatch — idle-scheduler guard plus the
+        # snapshot write — is one closure, with storage, the bound
+        # append, and the clock in cells.  Must stay observably
+        # identical to the base on_event + handle_payload pair, which
+        # still serves the queued path and the boot snapshot.
+        if not self._dedupe:
+            return super()._make_on_event()
+        self_ = self
+        status = self.i_status
+        scheduler = self.scheduler
+        queue = self._queue
+        storage = self._storage
+        append = self._append
+        time_fn = self._time_fn
+        if getattr(time_fn, "__func__", None) is SimClock.read:
+            # The daemon hands us the sim clock's bound read(); unwrap
+            # it so the per-snapshot timestamp is a slot load, not a
+            # method call.
+            clock = time_fn.__self__
+            time_fn = None
+        else:
+            clock = None
+
+        def on_event(apps: tuple) -> None:
+            if self_.is_active and status._pending:
+                if not scheduler._signals and not scheduler._ready and not queue:
+                    scheduler.dispatched += 1
+                    try:
+                        if storage.last_runapps == apps:
+                            self_.snapshots_skipped += 1
+                            return
+                        append(
+                            RunningAppsRecord(
+                                time=round(
+                                    clock._now if clock is not None else time_fn(),
+                                    3,
+                                ),
+                                apps=apps,
+                            )
+                        )
+                        storage.last_runapps = apps
+                        self_.snapshots += 1
+                    except Leave as leave:
+                        status.value = 0
+                        status._pending = False
+                        self_.is_active = False
+                        if not self_.run_error(leave.code):
+                            scheduler.error(leave.code, self_)
+                    return
+                queue.append((apps,))
+                status.complete(0)
+            else:
+                queue.append((apps,))
+            scheduler.run_until_idle()
+
+        return on_event
 
     def handle_payload(self, apps: tuple) -> None:
         # This is the single hottest logger path (one call per

@@ -89,7 +89,7 @@ class OSRuntime:
 
     def __init__(self, sim: Simulator, phone_id: str) -> None:
         self.bus = EventBus()
-        self.kernel = KernelExecutive(bus=self.bus, time_fn=lambda: sim.now)
+        self.kernel = KernelExecutive(bus=self.bus, time_fn=sim.clock.read)
         self.apparch = AppArchServer(bus=self.bus)
         self.logdb = LogDatabaseServer(bus=self.bus)
         self.sysagent = SystemAgent(bus=self.bus)
@@ -124,6 +124,7 @@ class SmartPhone:
         logger_config: Optional[LoggerConfig] = None,
     ) -> None:
         self.sim = sim
+        self._clock = sim.clock  # hoisted: activity paths read time per event
         self.profile = profile
         self.phone_id = profile.phone_id
         self.logger_config = logger_config if logger_config is not None else LoggerConfig()
@@ -312,7 +313,7 @@ class SmartPhone:
         if self.state != STATE_ON or self._activity is not None:
             return False
         assert self.os is not None
-        now = self.sim.now
+        now = self._clock._now
         self.open_app(TELEPHONE)
         if self.os.phone_app.state != "idle":
             # A previous call was torn down abnormally (fault mid-call);
@@ -331,7 +332,7 @@ class SmartPhone:
         if self.state != STATE_ON or self._activity != ACTIVITY_VOICE_CALL:
             return
         assert self.os is not None
-        now = self.sim.now
+        now = self._clock._now
         if self.os.phone_app.state == "connected":
             self.os.phone_app.hang_up()
         self.os.logdb.add_event(now, ACTIVITY_VOICE_CALL, PHASE_END)
@@ -344,7 +345,7 @@ class SmartPhone:
         if self.state != STATE_ON or self._activity is not None:
             return False
         assert self.os is not None
-        now = self.sim.now
+        now = self._clock._now
         self.open_app(MESSAGES)
         self.os.logdb.add_event(now, ACTIVITY_MESSAGE, PHASE_START)
         self._activity = ACTIVITY_MESSAGE
@@ -356,7 +357,7 @@ class SmartPhone:
         if self.state != STATE_ON or self._activity != ACTIVITY_MESSAGE:
             return
         assert self.os is not None
-        now = self.sim.now
+        now = self._clock._now
         # The normal (non-faulty) messaging round trip: store the body
         # and read it back into an adequately sized descriptor.  Skipped
         # when the messaging server already died of a panic (the phone

@@ -21,16 +21,20 @@ Dispatch is O(ready), not O(registered): the scheduler maintains a
 *ready list* incrementally — ``TRequestStatus.complete`` enlists its
 owner, ``mark_pending``/``Cancel``/dispatch delist it — so ``run_one``
 never scans the full AO registry (a quarter-million scans per paper
-campaign before this existed).  Selection order is unchanged: highest
-priority wins, ties break by registration order, and an empty ready
-list still falls back to the legacy full scan so externally-mutated
-state (tests crafting stray signals) behaves identically.
+campaign before this existed).  The list is kept sorted by a dispatch
+key precomputed at registration (``(-priority, registration order)``,
+stored on the AO), so selection is index 0 — no per-dispatch attribute
+comparisons at all.  Selection order is unchanged: highest priority
+wins, ties break by registration order, and an empty ready list still
+falls back to the legacy full scan so externally-mutated state (tests
+crafting stray signals) behaves identically.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from time import perf_counter
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.observability.telemetry import current_telemetry
 from repro.symbian.errors import Leave, PanicRequest
@@ -115,6 +119,20 @@ class CActive:
     handle their own leaves.
     """
 
+    # Slots keep the per-event state accesses (is_active, i_status,
+    # scheduler) on the C descriptor path; subclasses that don't declare
+    # __slots__ themselves still get a __dict__ for free-form attributes.
+    __slots__ = (
+        "scheduler",
+        "priority",
+        "name",
+        "is_active",
+        "_in_ready",
+        "_reg_order",
+        "_ready_key",
+        "i_status",
+    )
+
     def __init__(
         self,
         scheduler: "CActiveScheduler",
@@ -127,6 +145,9 @@ class CActive:
         self.is_active = False
         self._in_ready = False
         self._reg_order = -1
+        # Dispatch key, finalized at registration: ascending sort on it
+        # is exactly "highest priority first, then registration order".
+        self._ready_key: Tuple[int, int] = (-priority, -1)
         self.i_status = TRequestStatus(owner=self)
         scheduler.add(self)
 
@@ -172,11 +193,28 @@ class CActive:
 class CActiveScheduler:
     """Non-preemptive, priority-ordered dispatcher of active objects."""
 
+    __slots__ = (
+        "name",
+        "_actives",
+        "_registered",
+        "_ready",
+        "_reg_counter",
+        "_signals",
+        "dispatched",
+        "_dispatch_counter",
+        "_dispatch_series",
+        "_run_hist",
+        "__dict__",
+    )
+
     def __init__(self, name: str = "sched") -> None:
         self.name = name
         self._actives: List[CActive] = []
         self._registered: Set[CActive] = set()
-        self._ready: List[CActive] = []
+        # Kept sorted by (AO dispatch key, AO): the next AO to dispatch
+        # is always index 0.  Keys are unique (registration order is),
+        # so insort never compares the AO objects themselves.
+        self._ready: List[Tuple[Tuple[int, int], CActive]] = []
         self._reg_counter = 0
         self._signals = 0
         self.dispatched = 0
@@ -213,6 +251,7 @@ class CActiveScheduler:
             self._actives.append(ao)
             self._registered.add(ao)
             ao._reg_order = self._reg_counter
+            ao._ready_key = (-ao.priority, self._reg_counter)
             self._reg_counter += 1
             if ao.is_active and ao.i_status.completed:
                 self._mark_ready(ao)
@@ -315,32 +354,26 @@ class CActiveScheduler:
         """Enlist an AO whose request completed while it was active."""
         if not ao._in_ready and ao in self._registered:
             ao._in_ready = True
-            self._ready.append(ao)
+            insort(self._ready, (ao._ready_key, ao))
 
     def _unmark_ready(self, ao: CActive) -> None:
         """Delist an AO that is no longer active+completed."""
         if ao._in_ready:
             ao._in_ready = False
-            self._ready.remove(ao)
+            self._ready.remove((ao._ready_key, ao))
 
     def _find_ready(self) -> Optional[CActive]:
         """Highest-priority active object with a completed request.
 
-        Ties break by registration order, exactly like the legacy full
-        scan (``_reg_order`` mirrors the position in ``_actives``).
+        The ready list is sorted by the precomputed dispatch key
+        (priority desc, registration order asc — exactly the legacy
+        full scan's order), so selection is the head of the list.
         """
-        best: Optional[CActive] = None
-        for ao in self._ready:
-            if (
-                best is None
-                or ao.priority > best.priority
-                or (ao.priority == best.priority and ao._reg_order < best._reg_order)
-            ):
-                best = ao
-        if best is not None:
-            return best
+        if self._ready:
+            return self._ready[0][1]
         # Legacy fallback: state mutated outside the AO protocol (tests
         # crafting strays, hand-rolled statuses) is still honoured.
+        best: Optional[CActive] = None
         for ao in self._actives:
             if ao.is_active and ao.i_status.completed:
                 if best is None or ao.priority > best.priority:

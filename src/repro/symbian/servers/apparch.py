@@ -9,7 +9,7 @@ when it changes instead of polling (see
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.events import EventBus
 from repro.symbian.ipc import RMessage, Server
@@ -28,6 +28,14 @@ class AppArchServer(Server):
         super().__init__("AppArchServer")
         self.bus = bus if bus is not None else EventBus()
         self._running: List[str] = []
+        # Snapshot flyweights: the same running set recurs constantly
+        # (every app open/close round trip returns to a previous set),
+        # so snapshots are interned and every subscriber/record holds a
+        # shared tuple.  Equality checks downstream (the detector's
+        # dedupe against flash) then short-circuit on identity.  The
+        # cache is bounded by the number of distinct sets a phone ever
+        # reaches — small, since the app universe is.
+        self._snapshots: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
         self.handler(FN_APP_LIST, self._handle_app_list)
 
     # -- registration (called by the device/app model) ---------------------
@@ -54,7 +62,7 @@ class AppArchServer(Server):
 
     def running_apps(self) -> Tuple[str, ...]:
         """Snapshot of running application ids, in start order."""
-        return tuple(self._running)
+        return self._snapshot()
 
     def is_running(self, app_id: str) -> bool:
         return app_id in self._running
@@ -65,5 +73,12 @@ class AppArchServer(Server):
         """Serve the app list over IPC; the reply rides on the message."""
         message.args[0].extend(self._running)  # caller passes a list buffer
 
+    def _snapshot(self) -> Tuple[str, ...]:
+        snap = tuple(self._running)
+        return self._snapshots.setdefault(snap, snap)
+
     def _publish(self) -> None:
-        self.bus.publish(TOPIC_APPS_CHANGED, tuple(self._running))
+        # _snapshot inlined: one call per running-set change (~166k per
+        # paper campaign).
+        snap = tuple(self._running)
+        self.bus.publish(TOPIC_APPS_CHANGED, self._snapshots.setdefault(snap, snap))

@@ -11,7 +11,6 @@ for the Log Engine.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
 from repro.core.events import EventBus
@@ -24,19 +23,40 @@ TOPIC_LOG_EVENT = "logdb.event"
 DEFAULT_CAPACITY = 512
 
 
-@dataclass(slots=True, unsafe_hash=True)
 class LogEvent:
-    """One call/message transition in the log database."""
+    """One call/message transition in the log database.
 
-    time: float
-    kind: str
-    phase: str
+    A value object constructed once per activity transition (~90k per
+    paper campaign), so it is a hand-written ``__slots__`` class: one
+    constructor frame, validation inline, dataclass-equivalent equality
+    and hashing.
+    """
 
-    def __post_init__(self) -> None:
-        if self.kind not in ACTIVITY_KINDS:
-            raise ValueError(f"unknown activity kind {self.kind!r}")
-        if self.phase not in (PHASE_START, PHASE_END):
-            raise ValueError(f"unknown phase {self.phase!r}")
+    __slots__ = ("time", "kind", "phase")
+
+    def __init__(self, time: float, kind: str, phase: str) -> None:
+        if kind not in ACTIVITY_KINDS:
+            raise ValueError(f"unknown activity kind {kind!r}")
+        if phase not in (PHASE_START, PHASE_END):
+            raise ValueError(f"unknown phase {phase!r}")
+        self.time = time
+        self.kind = kind
+        self.phase = phase
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is LogEvent:
+            return (
+                self.time == other.time
+                and self.kind == other.kind
+                and self.phase == other.phase
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.kind, self.phase))
+
+    def __repr__(self) -> str:
+        return f"LogEvent(time={self.time!r}, kind={self.kind!r}, phase={self.phase!r})"
 
 
 class LogDatabaseServer:

@@ -1,0 +1,212 @@
+"""Engine edge-case and accounting tests.
+
+Covers the documented escape semantics of ``run_until`` (a raising
+callback must leave the simulator resumable, not half-advanced), the
+``ScheduledEvent`` lifecycle reporting, and a property test that
+interleaved ``schedule_*``/``cancel``/``_compact``/``run_until``
+sequences keep ``pending_count()``, ``events_cancelled`` and the
+internal dead-entry counter exactly consistent — including cancels
+fired from inside callbacks and compaction mid-``run_until``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import DEFAULT_TICK_WIDTH, ScheduledEvent, Simulator
+from repro.core.errors import SimulationError
+
+TICK_WIDTHS = [0.0, 7.5, DEFAULT_TICK_WIDTH]
+
+
+# ---------------------------------------------------------------------------
+# run_until escape semantics: fires, raises, resumes.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tick_width", TICK_WIDTHS)
+def test_run_until_fires_raises_resumes(tick_width):
+    sim = Simulator(tick_width=tick_width)
+    order = []
+
+    def boom():
+        order.append("boom")
+        # Work scheduled before the raise must survive the escape.
+        sim.schedule_at(sim.now + 1.0, lambda: order.append("from-boom"))
+        raise RuntimeError("injected")
+
+    sim.schedule_at(5.0, lambda: order.append("before"))
+    sim.schedule_at(15.0, boom)
+    sim.schedule_at(15.0, lambda: order.append("same-instant"))
+    sim.schedule_at(25.0, lambda: order.append("after"))
+
+    with pytest.raises(RuntimeError, match="injected"):
+        sim.run_until(100.0)
+
+    # Documented escape state: clock at the failing event's timestamp
+    # (NOT advanced to t), the failing event counted as fired, every
+    # survivor still queued, counters exact.
+    assert order == ["before", "boom"]
+    assert sim.now == 15.0
+    assert sim.events_fired == 2
+    assert sim.pending_count() == 3  # same-instant, from-boom, after
+
+    # A fresh run_until resumes exactly where the drain stopped.
+    sim.run_until(100.0)
+    assert order == ["before", "boom", "same-instant", "from-boom", "after"]
+    assert sim.now == 100.0
+    assert sim.pending_count() == 0
+    assert sim.events_fired == 5
+    # The re-entrancy latch was released by the escape path too.
+    sim.schedule_at(200.0, lambda: order.append("tail"))
+    sim.run_until(200.0)
+    assert order[-1] == "tail"
+
+
+def test_run_until_without_events_still_advances_clock():
+    sim = Simulator()
+    sim.run_until(42.0)
+    assert sim.now == 42.0
+    with pytest.raises(SimulationError):
+        sim.run_until(41.0)  # clock cannot move backwards
+
+
+# ---------------------------------------------------------------------------
+# ScheduledEvent lifecycle reporting.
+# ---------------------------------------------------------------------------
+
+
+def test_repr_reports_pending_fired_and_cancelled():
+    sim = Simulator()
+    handle = sim.schedule_at(10.0, lambda: None)
+    assert repr(handle).endswith("pending)")
+    sim.run_until(10.0)
+    # The pre-fix __repr__ reported fired events as pending.
+    assert repr(handle).endswith("fired)")
+
+    cancelled = sim.schedule_at(20.0, lambda: None)
+    cancelled.cancel()
+    assert repr(cancelled).endswith("cancelled)")
+
+
+def test_cancel_after_fire_is_a_noop():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_at(1.0, lambda: fired.append(1))
+    sim.run_until(1.0)
+    handle.cancel()
+    assert not handle.cancelled  # it fired; cancel must not relabel it
+    assert "fired" in repr(handle)
+    assert sim.events_cancelled == 0
+    assert sim.pending_count() == 0
+
+
+def test_scheduled_event_defines_no_ordering():
+    # Queue entries are (time, priority, seq, event) tuples and the
+    # unique seq guarantees comparisons never reach the event object;
+    # a stray __lt__ would silently mask key bugs, so its absence is
+    # part of the contract.
+    assert "__lt__" not in ScheduledEvent.__dict__
+    a = ScheduledEvent(1.0, 0, 0, lambda: None, ())
+    b = ScheduledEvent(2.0, 0, 1, lambda: None, ())
+    with pytest.raises(TypeError):
+        a < b
+
+
+# ---------------------------------------------------------------------------
+# Accounting property: pending_count / events_cancelled / dead entries.
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["sched_at", "sched_after", "cancel", "compact", "run"]
+        ),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(ops=_OPS, tick_width=st.sampled_from(TICK_WIDTHS))
+@settings(max_examples=150, deadline=None)
+def test_interleaved_ops_keep_accounting_exact(ops, tick_width):
+    sim = Simulator(tick_width=tick_width)
+    handles = []
+    scheduled = 0
+    fired_ids = []
+    cancelled_ids = set()
+
+    def note_cancel(handle):
+        # cancel() is a no-op on fired or already-cancelled events;
+        # mirror that in the model so events_cancelled stays exact.
+        if handle._sim is not None and not handle.cancelled:
+            cancelled_ids.add(id(handle))
+        handle.cancel()
+
+    def check():
+        live = scheduled - len(fired_ids) - len(cancelled_ids)
+        assert sim.pending_count() == live
+        assert sim.events_scheduled == scheduled
+        assert sim.events_fired == len(fired_ids)
+        assert sim.events_cancelled == len(cancelled_ids)
+        # The dead-entry counter is exactly the physically-resident
+        # cancelled entries, and never negative.
+        assert sim._cancelled_count == sim._resident_count() - live
+        assert sim._cancelled_count >= 0
+
+    def check_resident():
+        # The subset of the books that is exact from *inside* a firing
+        # callback: events_fired is folded in at run_until exit, but
+        # residency and cancellation accounting are eager.
+        live = scheduled - len(fired_ids) - len(cancelled_ids)
+        assert sim.pending_count() == live
+        assert sim.events_scheduled == scheduled
+        assert sim.events_cancelled == len(cancelled_ids)
+        assert sim._cancelled_count == sim._resident_count() - live
+        assert sim._cancelled_count >= 0
+
+    def fire(payload):
+        fired_ids.append(payload)
+        check_resident()
+        action = payload % 4
+        if action == 1 and handles:
+            note_cancel(handles[payload % len(handles)])
+        elif action == 2:
+            nonlocal scheduled
+            scheduled += 1
+            handles.append(
+                sim.schedule_after((payload % 300) / 10.0, fire, payload + 7)
+            )
+        elif action == 3:
+            sim._compact()  # compaction mid-run_until
+        check_resident()
+
+    for op, a in ops:
+        if op == "sched_at":
+            scheduled += 1
+            handles.append(
+                sim.schedule_at(
+                    sim.now + (a % 5000) / 10.0,
+                    fire,
+                    a,
+                    priority=(a % 7) - 3,
+                )
+            )
+        elif op == "sched_after":
+            scheduled += 1
+            handles.append(sim.schedule_after((a % 5000) / 10.0, fire, a))
+        elif op == "cancel":
+            if handles:
+                note_cancel(handles[a % len(handles)])
+        elif op == "compact":
+            sim._compact()
+        elif op == "run":
+            sim.run_until(sim.now + (a % 3000) / 10.0)
+        check()
+
+    # Drain everything; the books must balance at quiescence too.
+    sim.run()
+    check()
+    assert sim.pending_count() == 0
