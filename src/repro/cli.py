@@ -61,14 +61,19 @@ from repro.experiments.cache import CampaignCache
 from repro.experiments.campaign import run_campaign
 from repro.experiments.compare import headline_comparison
 from repro.experiments.config import CampaignConfig
+from repro.experiments.executors import (
+    EXECUTOR_POOL,
+    EXECUTOR_WORKQUEUE,
+    EXECUTORS,
+)
 from repro.experiments.perf import (
-    DEFAULT_REGRESSION_THRESHOLD,
     check_counters,
     check_regression,
     load_baseline,
     measure_campaign,
 )
 from repro.experiments.runner import run_campaigns
+from repro.experiments.shard import MERGE_AUTO, MERGE_MODES
 from repro.forum.corpus import CorpusConfig
 from repro.forum.study import run_forum_study
 from repro.logger.transfer import load_lines_from_dir
@@ -163,6 +168,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--window", type=float, default=DEFAULT_WINDOW,
         help="panic/HL coalescence window in seconds (paper: 300)",
     )
+    sweep.add_argument(
+        "--executor", choices=EXECUTORS, default=None,
+        help="execution backend (default: pool when --workers > 1, "
+        "else serial)",
+    )
 
     forum = sub.add_parser("forum", help="run the section-4 forum study")
     forum.add_argument("--noise", type=float, default=0.25)
@@ -207,8 +217,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "slower than --threshold times the baseline",
     )
     perf.add_argument(
-        "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
-        help="regression factor for --check-against (default: 2.0)",
+        "--threshold", type=float, default=None,
+        help="regression factor for --check-against (default: 1.6x on "
+        "CPU seconds when the baseline records them, else 2.0x on wall)",
     )
     perf.add_argument(
         "--check-counters", metavar="FILE", default=None,
@@ -316,8 +327,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ingest door for every shard (default: structured)",
     )
     megafleet.add_argument(
+        "--executor", choices=(EXECUTOR_POOL, EXECUTOR_WORKQUEUE),
+        default=EXECUTOR_POOL,
+        help="shard backend: 'pool' = static process-pool assignment; "
+        "'workqueue' = work-stealing queue workers with durable "
+        "commit-before-acknowledge (kill-9 resumable)",
+    )
+    megafleet.add_argument(
+        "--merge", choices=MERGE_MODES, default=MERGE_AUTO,
+        help="shard merge: 'memory' holds every shard result at once; "
+        "'streaming' (workqueue only) folds committed files one at a "
+        "time so parent RSS stays flat in --shards; 'auto' picks "
+        "streaming for workqueue (default: auto)",
+    )
+    megafleet.add_argument(
+        "--retries", type=int, default=0,
+        help="re-dispatches per shard after a worker error or death "
+        "(default: 0)",
+    )
+    megafleet.add_argument(
+        "--skew", type=float, default=None, metavar="FACTOR",
+        help="deliberately unbalance the shard plan: the first shard "
+        "gets FACTOR times the weight of each remaining shard "
+        "(benchmarks the work-stealing backend)",
+    )
+    megafleet.add_argument(
+        "--spill", metavar="DIR", default=None,
+        help="directory for workqueue shard commits when no --cache is "
+        "given (default: a private temp dir, removed after the merge)",
+    )
+    megafleet.add_argument(
         "--cache", metavar="DIR", default=None,
-        help="cache shard results here; repeated runs re-merge for free",
+        help="cache shard results here; repeated runs re-merge for "
+        "free, and an interrupted (even kill -9) run resumes from its "
+        "committed shards",
     )
     megafleet.add_argument(
         "--window", type=float, default=DEFAULT_WINDOW,
@@ -402,7 +445,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache = CampaignCache(args.cache) if args.cache else None
     except OSError as exc:
         raise SystemExit(f"cannot use cache directory {args.cache!r}: {exc}")
-    summaries = run_campaigns(configs, workers=args.workers, cache=cache)
+    summaries = run_campaigns(
+        configs, workers=args.workers, cache=cache, executor=args.executor
+    )
 
     rows = []
     for summary in summaries:
@@ -615,6 +660,11 @@ def _cmd_megafleet(args: argparse.Namespace) -> int:
         cache = shard_cache(args.cache) if args.cache else None
     except OSError as exc:
         raise SystemExit(f"cannot use cache directory {args.cache!r}: {exc}")
+    weights = None
+    if args.skew is not None:
+        if args.skew <= 0:
+            raise SystemExit(f"--skew must be > 0, got {args.skew:g}")
+        weights = [args.skew] + [1.0] * (args.shards - 1)
     try:
         start = perf_counter()
         result = run_sharded_campaign(
@@ -623,6 +673,11 @@ def _cmd_megafleet(args: argparse.Namespace) -> int:
             workers=args.workers,
             pipeline=args.pipeline,
             cache=cache,
+            retries=args.retries,
+            executor=args.executor,
+            merge=args.merge,
+            spill_dir=args.spill,
+            weights=weights,
         )
         wall = perf_counter() - start
     except ValueError as exc:
@@ -637,6 +692,13 @@ def _cmd_megafleet(args: argparse.Namespace) -> int:
         "shard_ranges": [list(r) for r in result.shard_ranges],
         "workers": args.workers,
         "pipeline": args.pipeline,
+        "executor": result.executor,
+        "merge_mode": result.merge_mode,
+        "counters": result.stats.to_dict(),
+        "events_fired": result.events_fired,
+        "events_per_second": round(result.events_fired / wall, 1)
+        if wall > 0
+        else 0.0,
         "wall_seconds": round(wall, 3),
         # ru_maxrss is KiB on Linux: the parent holds only merged
         # accumulators; shard datasets peak inside the children.
@@ -673,8 +735,15 @@ def _cmd_megafleet(args: argparse.Namespace) -> int:
         lines = [
             f"Mega-fleet: {args.phones} phones x {args.months:g} months, "
             f"{result.shard_count} shards x {args.workers} workers "
-            f"({args.pipeline} ingest)",
+            f"({result.executor} executor, {result.merge_mode} merge, "
+            f"{args.pipeline} ingest)",
             f"wall time:       {wall:.2f}s",
+            f"events/second:   {report['events_per_second']:,.0f} "
+            f"({result.events_fired:,} events)",
+            f"steals/retries:  {result.stats.steals} steals, "
+            f"{result.stats.task_retries} retries, "
+            f"{result.stats.resumed_shards} resumed, "
+            f"{result.stats.worker_restarts} restarts",
             f"peak RSS:        parent "
             f"{report['max_rss_kb']['self'] / 1024:.0f} MiB, "
             f"largest child "

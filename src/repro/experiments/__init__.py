@@ -7,7 +7,10 @@
   runner, plus :func:`run_campaigns_resilient` and its
   :class:`SweepManifest` of partial results and structured failures.
 * :mod:`cache`    — the on-disk summary cache for repeated sweeps.
-* :mod:`shard`    — sharded mega-fleet campaigns with streaming merge.
+* :mod:`executors` — pluggable execution backends (serial, process
+  pool, work-stealing work queue) behind one :class:`Executor` face.
+* :mod:`shard`    — sharded mega-fleet campaigns with work stealing,
+  durable commits (kill-9 resumable), and spill-to-disk merge.
 * :mod:`paper`    — the paper's published numbers, as data.
 * :mod:`compare`  — paper-vs-measured comparison tables.
 """
@@ -20,6 +23,18 @@ from repro.experiments.compare import (
     headline_comparison,
 )
 from repro.experiments.config import CampaignConfig
+from repro.experiments.executors import (
+    EXECUTOR_POOL,
+    EXECUTOR_SERIAL,
+    EXECUTOR_WORKQUEUE,
+    EXECUTORS,
+    Executor,
+    ExecutorStats,
+    PoolExecutor,
+    SerialExecutor,
+    WorkQueueExecutor,
+    get_executor,
+)
 from repro.experiments.runner import (
     CampaignExecutionError,
     CampaignFailure,
@@ -29,12 +44,21 @@ from repro.experiments.runner import (
     summarize_campaign,
 )
 from repro.experiments.shard import (
+    MERGE_AUTO,
+    MERGE_MEMORY,
+    MERGE_MODES,
+    MERGE_STREAMING,
+    CommittedShard,
     MegafleetResult,
+    MergedCampaign,
     ShardResult,
     ShardTask,
+    load_shard_file,
+    merge_shard_files,
     merge_shards,
     plan_shards,
     run_sharded_campaign,
+    scan_committed_shards,
     shard_cache,
 )
 from repro.experiments.summary import (
@@ -61,11 +85,30 @@ __all__ = [
     "Comparison",
     "ComparisonRow",
     "headline_comparison",
+    "EXECUTOR_POOL",
+    "EXECUTOR_SERIAL",
+    "EXECUTOR_WORKQUEUE",
+    "EXECUTORS",
+    "Executor",
+    "ExecutorStats",
+    "PoolExecutor",
+    "SerialExecutor",
+    "WorkQueueExecutor",
+    "get_executor",
+    "MERGE_AUTO",
+    "MERGE_MEMORY",
+    "MERGE_MODES",
+    "MERGE_STREAMING",
+    "CommittedShard",
     "MegafleetResult",
+    "MergedCampaign",
     "ShardResult",
     "ShardTask",
+    "load_shard_file",
+    "merge_shard_files",
     "merge_shards",
     "plan_shards",
     "run_sharded_campaign",
+    "scan_committed_shards",
     "shard_cache",
 ]

@@ -1,0 +1,834 @@
+"""Pluggable campaign executors: pool, work-stealing queue, serial.
+
+PR 5 broke the single-process *memory* ceiling; execution itself was
+still one hard-wired ``ProcessPoolExecutor`` fan-out inside the runner.
+This module lifts that choice behind an :class:`Executor` interface so
+the runner and the sharded mega-fleet path can swap backends without
+touching campaign logic — and so a multi-host backend can drop in
+later behind the same seam:
+
+* :class:`SerialExecutor` (``"serial"``) — everything runs in-process,
+  in index order.  Also the graceful-degradation target every parallel
+  backend falls back to when worker processes cannot start (sandboxes,
+  restricted interpreters).
+* :class:`PoolExecutor` (``"pool"``) — the classic
+  ``ProcessPoolExecutor`` fan-out: static assignment, one future per
+  campaign, per-future watchdog.  Exactly the runner's historical
+  behaviour, now as one backend among several.
+* :class:`WorkQueueExecutor` (``"workqueue"``) — N long-lived worker
+  processes pulling tasks from a coordinator-managed queue.  Dynamic
+  assignment alone fixes mild skew (a worker that finishes early just
+  pulls the next task); for *sharded* campaigns the coordinator also
+  performs **work stealing**: when the remaining work is concentrated
+  in one oversized phone range, an idle worker is handed half of the
+  largest pending range (split via ``FleetConfig.phone_range``) instead
+  of idling while one long-tailed shard gates the wall clock.  Workers
+  that die mid-task (``kill -9``, OOM) are detected by liveness
+  polling; their in-flight task is requeued and the worker respawned.
+  With a ``commit_dir``, workers durably commit each result to a
+  :class:`~repro.experiments.cache.CampaignCache` (atomic temp file +
+  rename) *before* acknowledging it — the property that makes
+  mega-fleet runs resumable after ``kill -9`` of the whole process
+  tree — and only a tiny acknowledgement crosses the queue, keeping
+  the parent's memory flat in shard count.
+
+Counters: every steal, task retry, worker restart, and watchdog fire is
+tallied in an :class:`ExecutorStats` (always, so reports and benchmarks
+can quote them with telemetry off) and mirrored into the ambient
+:class:`~repro.observability.telemetry.Telemetry` registry as labeled
+counters (``executor.steals_total`` etc.) when metrics are enabled.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.experiments.cache import CampaignCache
+from repro.experiments.config import CampaignConfig
+from repro.observability.telemetry import Telemetry
+
+EXECUTOR_SERIAL = "serial"
+EXECUTOR_POOL = "pool"
+EXECUTOR_WORKQUEUE = "workqueue"
+
+#: Backend names accepted by ``get_executor`` (and the CLI flags).
+EXECUTORS = (EXECUTOR_SERIAL, EXECUTOR_POOL, EXECUTOR_WORKQUEUE)
+
+#: Never steal below this many phones: a split that produces slivers
+#: costs more in per-shard overhead than it recovers in balance.
+DEFAULT_MIN_SPLIT_PHONES = 32
+
+#: Dispatch-time split target: chunks aim for
+#: ``remaining / (workers * oversubscribe)`` phones, so the tail of the
+#: run always has a few chunks per worker to balance over.
+DEFAULT_OVERSUBSCRIBE = 4
+
+#: Coordinator poll interval (seconds) while waiting for worker acks;
+#: bounds how quickly dead workers and watchdog deadlines are noticed.
+DEFAULT_POLL_INTERVAL = 0.05
+
+
+class CampaignExecutionError(RuntimeError):
+    """A campaign run failed; carries which config it was and why.
+
+    ``traceback`` holds the worker-side traceback text (including the
+    remote traceback when the failure crossed a process boundary) and
+    ``attempts`` how many tries the runner made, so a failed sweep
+    member is diagnosable without re-running it.  ``phone_range`` pins
+    the exact fleet slice that was in flight when a sharded run (or a
+    broken process pool) took the campaign down.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        seed: int,
+        cause: str,
+        traceback: str = "",
+        attempts: int = 1,
+        phone_range: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        where = f"campaign #{index} (seed {seed}"
+        if phone_range is not None:
+            where += f", phones [{phone_range[0]}, {phone_range[1]})"
+        super().__init__(
+            f"{where}) failed after "
+            f"{attempts} attempt{'s' if attempts != 1 else ''}: {cause}"
+        )
+        self.index = index
+        self.seed = seed
+        self.cause = cause
+        self.traceback = traceback
+        self.attempts = attempts
+        self.phone_range = phone_range
+
+
+#: (error type name, message, formatted traceback) for one failed attempt.
+FailureInfo = Tuple[str, str, str]
+
+
+def format_failure(exc: BaseException) -> FailureInfo:
+    text = "".join(
+        traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return type(exc).__name__, str(exc), text
+
+
+@dataclass
+class ExecutorStats:
+    """Plain-integer tallies of one executor run.
+
+    Kept outside the telemetry registry so reports and benchmark
+    snapshots can always quote them — telemetry defaults to off — and
+    mirrored into labeled counters via :meth:`sample` when metrics are
+    enabled.
+    """
+
+    backend: str = EXECUTOR_SERIAL
+    #: Dispatch-time splits of the largest pending phone range — each
+    #: one is an idle worker stealing half of a long-tailed shard.
+    steals: int = 0
+    #: Tasks re-dispatched after a worker error, death, or hang.
+    task_retries: int = 0
+    #: Committed shards skipped at (re)planning time — the resume path.
+    resumed_shards: int = 0
+    #: Dead or hung workers replaced with a fresh process.
+    worker_restarts: int = 0
+    #: Hung tasks reclaimed by the per-task watchdog.
+    watchdog_fires: int = 0
+    #: Values already mirrored into the registry — :meth:`sample` incs
+    #: only the delta, so repeated sampling never double-counts.
+    _mirrored: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "executor.steals_total": self.steals,
+            "executor.task_retries_total": self.task_retries,
+            "executor.resumed_shards_total": self.resumed_shards,
+            "executor.worker_restarts_total": self.worker_restarts,
+            "executor.watchdog_fires_total": self.watchdog_fires,
+        }
+
+    def sample(self, tel: Telemetry) -> None:
+        """Mirror the tallies into labeled registry counters.
+
+        Only the delta since the last mirror is added, so sampling at
+        every layer boundary (executor, runner, sharded campaign) is
+        safe — the counters converge on the plain-integer tallies.
+        """
+        if not tel.metrics:
+            return
+        for name, help_text, value in (
+            ("executor.steals_total", "phone ranges split for idle workers", self.steals),
+            ("executor.task_retries_total", "tasks re-dispatched after failure", self.task_retries),
+            ("executor.resumed_shards_total", "committed shards skipped at replan", self.resumed_shards),
+            ("executor.worker_restarts_total", "workers replaced after death or hang", self.worker_restarts),
+            ("executor.watchdog_fires_total", "hung tasks reclaimed by the watchdog", self.watchdog_fires),
+        ):
+            delta = value - self._mirrored.get(name, 0)
+            if delta:
+                tel.registry.counter(name, help=help_text).inc(
+                    float(delta), backend=self.backend
+                )
+                self._mirrored[name] = value
+
+
+class Executor:
+    """One way of running many campaign tasks.
+
+    ``execute`` is the index-preserving map the multi-seed runner
+    drives: fill ``results[index]`` (or ``failed[index]``) for every
+    index in ``pending`` and return the indices that still need a
+    serial in-process attempt (all of them when the backend cannot
+    start, the unfinished tail when it breaks mid-way).  Backends never
+    raise for per-task failures — those land in ``failed`` so the
+    runner's retry and manifest machinery stays backend-agnostic.
+    """
+
+    name: str = "?"
+    #: Whether the backend fans out at all (False => runner goes serial).
+    parallel: bool = False
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.stats = ExecutorStats(backend=self.name)
+
+    def execute(
+        self,
+        configs: Sequence[CampaignConfig],
+        pending: Sequence[int],
+        results: List[Optional[Any]],
+        task: Callable[..., Any],
+        timeout: Optional[float],
+        failed: Dict[int, FailureInfo],
+        walls: Dict[int, List[float]],
+        watchdogs: Dict[int, Optional[float]],
+        tel: Telemetry,
+        commit: Callable[[int, Any], None],
+    ) -> List[int]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """No fan-out: hand everything back to the runner's serial loop."""
+
+    name = EXECUTOR_SERIAL
+    parallel = False
+
+    def execute(
+        self, configs, pending, results, task, timeout,
+        failed, walls, watchdogs, tel, commit,
+    ) -> List[int]:
+        return list(pending)
+
+
+class PoolExecutor(Executor):
+    """Static ``ProcessPoolExecutor`` fan-out — the historical backend.
+
+    One future per campaign, submitted up front; a per-future watchdog
+    reclaims hung workers; a broken pool (killed worker, a sandbox
+    denying fork) hands the unfinished tail back for serial execution.
+    Completed results are committed to the cache *as they are observed*
+    so a crash of the parent loses only in-flight work.
+    """
+
+    name = EXECUTOR_POOL
+    parallel = True
+
+    def execute(
+        self, configs, pending, results, task, timeout,
+        failed, walls, watchdogs, tel, commit,
+    ) -> List[int]:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures import TimeoutError as FutureTimeoutError
+            from concurrent.futures.process import BrokenProcessPool
+
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))
+            )
+        except Exception:
+            return list(pending)
+
+        watchdog_series = (
+            tel.registry.counter(
+                "runner.watchdog_fires_total",
+                help="pooled workers reclaimed by the watchdog",
+            ).series()
+            if tel.metrics
+            else None
+        )
+        leftover: List[int] = []
+        try:
+            submitted_at = {index: perf_counter() for index in pending}
+            futures = {
+                index: executor.submit(task, configs[index]) for index in pending
+            }
+            broken = False
+            for index in pending:
+                if broken:
+                    leftover.append(index)
+                    continue
+                watchdogs[index] = timeout
+                try:
+                    with tel.span(
+                        "campaign.await",
+                        category="runner",
+                        track="runner",
+                        index=index,
+                        seed=configs[index].seed,
+                    ):
+                        results[index] = futures[index].result(timeout=timeout)
+                except BrokenProcessPool:
+                    # The pool died under us: finish the rest
+                    # in-process.  No watchdog ever guarded this
+                    # attempt, so unrecord it — but keep the identity
+                    # of the task that was in flight observable.
+                    broken = True
+                    watchdogs.pop(index, None)
+                    leftover.append(index)
+                    tel.instant(
+                        "process pool broke",
+                        category="runner",
+                        track="runner",
+                        index=index,
+                        seed=configs[index].seed,
+                        phone_range=list(
+                            configs[index].fleet.phone_range or ()
+                        ),
+                    )
+                except (FutureTimeoutError, TimeoutError):
+                    futures[index].cancel()
+                    walls.setdefault(index, []).append(
+                        perf_counter() - submitted_at[index]
+                    )
+                    self.stats.watchdog_fires += 1
+                    if watchdog_series is not None:
+                        watchdog_series.value += 1.0
+                    tel.instant(
+                        "watchdog fire",
+                        category="runner",
+                        track="runner",
+                        index=index,
+                        seed=configs[index].seed,
+                    )
+                    failed[index] = (
+                        "WorkerTimeout",
+                        f"no result within {timeout}s (hung worker)",
+                        "",
+                    )
+                except CampaignExecutionError:
+                    raise
+                except Exception as exc:
+                    walls.setdefault(index, []).append(
+                        perf_counter() - submitted_at[index]
+                    )
+                    failed[index] = format_failure(exc)
+                else:
+                    walls.setdefault(index, []).append(
+                        perf_counter() - submitted_at[index]
+                    )
+                    commit(index, results[index])
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return leftover
+
+
+# -- work-queue backend ---------------------------------------------------------
+
+
+def _worker_main(wid, task, commit_dir, inbox, outbox):
+    """Worker loop: pull a task, run it, (commit), acknowledge.
+
+    With ``commit_dir`` the result is durably written to the cache
+    *before* the acknowledgement is sent — the coordinator never learns
+    of a shard that is not already safe on disk — and never crosses the
+    queue.  Module-level so it pickles under any start method.
+    """
+    cache = CampaignCache(commit_dir) if commit_dir is not None else None
+    outbox.put(("ready", wid, None, None))
+    while True:
+        message = inbox.get()
+        if message[0] == "stop":
+            return
+        _kind, task_id, config = message
+        try:
+            result = task(config)
+            if cache is not None:
+                cache.put(config, result)
+                result = None
+        except Exception as exc:
+            outbox.put(("error", wid, task_id, format_failure(exc)))
+        else:
+            outbox.put(("done", wid, task_id, result))
+
+
+class _QueueStartupError(RuntimeError):
+    """Worker processes could not start; fall back to serial."""
+
+
+@dataclass
+class _InFlight:
+    key: Any
+    config: CampaignConfig
+    started_at: float
+
+
+@dataclass
+class _QueueOutcome:
+    """What one coordinator run produced, keyed by task id."""
+
+    completed: "Dict[Any, Tuple[CampaignConfig, Any]]" = field(
+        default_factory=dict
+    )
+    failed: "Dict[Any, Tuple[CampaignConfig, FailureInfo, int]]" = field(
+        default_factory=dict
+    )
+    walls: "Dict[Any, List[float]]" = field(default_factory=dict)
+
+
+class WorkQueueExecutor(Executor):
+    """Coordinator-scheduled worker processes with work stealing.
+
+    The coordinator owns the pending task list and dispatches one task
+    per idle worker; workers acknowledge over a shared upstream queue.
+    Three properties distinguish it from the static pool:
+
+    * **dynamic balance** — a worker that finishes early immediately
+      pulls the next task, so an uneven plan no longer pins wall time
+      to the unluckiest static assignment;
+    * **work stealing** — with a ``splitter``, an oversized task is
+      halved at dispatch until it fits the current fair share
+      (``remaining / (workers * oversubscribe)``), so one huge phone
+      range ends as several chunks spread over idle workers;
+    * **self-healing** — a worker that dies mid-task is detected by
+      liveness polling, its task requeued and the worker respawned; a
+      task that exceeds ``timeout`` is reclaimed by killing the worker.
+
+    With ``commit_dir`` set (sharded mode) workers commit every result
+    durably before acknowledging, which is what makes ``kill -9``
+    resume work: anything acknowledged is already on disk.
+    """
+
+    name = EXECUTOR_WORKQUEUE
+    parallel = True
+
+    def __init__(
+        self,
+        workers: int = 4,
+        steal: bool = True,
+        min_split_phones: int = DEFAULT_MIN_SPLIT_PHONES,
+        oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        worker_restarts: Optional[int] = None,
+    ) -> None:
+        super().__init__(workers)
+        self.steal = steal
+        self.min_split_phones = max(1, min_split_phones)
+        self.oversubscribe = max(1, oversubscribe)
+        self.poll_interval = poll_interval
+        #: Total worker respawns allowed per run (dead or hung workers).
+        self.worker_restarts = (
+            worker_restarts if worker_restarts is not None else 2 * workers
+        )
+
+    # -- runner integration (index-preserving map, no stealing) ---------
+
+    def execute(
+        self, configs, pending, results, task, timeout,
+        failed, walls, watchdogs, tel, commit,
+    ) -> List[int]:
+        items: List[Tuple[Any, CampaignConfig]] = [
+            (index, configs[index]) for index in pending
+        ]
+        try:
+            outcome = self._run(
+                items,
+                task,
+                commit_dir=None,
+                tel=tel,
+                retries=0,
+                timeout=timeout,
+                splitter=None,
+                size_fn=None,
+            )
+        except _QueueStartupError:
+            return list(pending)
+        for index, (config, payload) in outcome.completed.items():
+            results[index] = payload
+            commit(index, payload)
+        for index, (config, info, _attempts) in outcome.failed.items():
+            failed[index] = info
+            if info[0] == "WorkerTimeout":
+                watchdogs[index] = timeout
+        for index, attempts in outcome.walls.items():
+            walls.setdefault(index, []).extend(attempts)
+        self.stats.sample(tel)
+        return []
+
+    # -- sharded mode (stealing + durable commit) -----------------------
+
+    def execute_shards(
+        self,
+        items: Sequence[Tuple[Tuple[int, int], CampaignConfig]],
+        task: Callable[[CampaignConfig], Any],
+        commit_dir: str,
+        tel: Telemetry,
+        retries: int = 0,
+        timeout: Optional[float] = None,
+        splitter: Optional[
+            Callable[[CampaignConfig], Optional[Tuple[CampaignConfig, CampaignConfig]]]
+        ] = None,
+        size_fn: Optional[Callable[[CampaignConfig], int]] = None,
+    ) -> List[Tuple[Tuple[int, int], CampaignConfig]]:
+        """Run shard tasks to durable completion; returns the tiling.
+
+        Every returned ``(phone_range, config)`` pair has its result
+        committed in ``commit_dir`` (commit-before-acknowledge).  The
+        returned ranges may be *finer* than the submitted ones when
+        stealing split a long-tailed shard.  Raises
+        :class:`CampaignExecutionError` (with the offending
+        ``phone_range``) when a task exhausts its attempts.
+        """
+        try:
+            outcome = self._run(
+                list(items),
+                task,
+                commit_dir=commit_dir,
+                tel=tel,
+                retries=retries,
+                timeout=timeout,
+                splitter=splitter if self.steal else None,
+                size_fn=size_fn,
+            )
+        except _QueueStartupError:
+            outcome = self._run_serial(
+                list(items), task, commit_dir, retries
+            )
+        self.stats.sample(tel)
+        if outcome.failed:
+            key = sorted(outcome.failed, key=lambda k: tuple(k))[0]
+            config, info, attempts = outcome.failed[key]
+            raise CampaignExecutionError(
+                index=-1,
+                seed=config.seed,
+                cause=f"{info[0]}: {info[1]}",
+                traceback=info[2],
+                attempts=attempts,
+                phone_range=config.fleet.phone_range,
+            )
+        ordered = sorted(outcome.completed, key=lambda k: tuple(k))
+        return [(key, outcome.completed[key][0]) for key in ordered]
+
+    def _run_serial(
+        self,
+        items: List[Tuple[Any, CampaignConfig]],
+        task: Callable[[CampaignConfig], Any],
+        commit_dir: str,
+        retries: int,
+    ) -> _QueueOutcome:
+        """In-process fallback with identical commit semantics."""
+        cache = CampaignCache(commit_dir)
+        outcome = _QueueOutcome()
+        for key, config in items:
+            attempts = 0
+            while True:
+                attempts += 1
+                start = perf_counter()
+                try:
+                    result = task(config)
+                    cache.put(config, result)
+                except Exception as exc:
+                    outcome.walls.setdefault(key, []).append(
+                        perf_counter() - start
+                    )
+                    if attempts <= retries:
+                        self.stats.task_retries += 1
+                        continue
+                    outcome.failed[key] = (config, format_failure(exc), attempts)
+                    break
+                else:
+                    outcome.walls.setdefault(key, []).append(
+                        perf_counter() - start
+                    )
+                    outcome.completed[key] = (config, None)
+                    break
+        return outcome
+
+    # -- the coordinator ------------------------------------------------
+
+    def _run(
+        self,
+        items: List[Tuple[Any, CampaignConfig]],
+        task: Callable[[CampaignConfig], Any],
+        commit_dir: Optional[str],
+        tel: Telemetry,
+        retries: int,
+        timeout: Optional[float],
+        splitter,
+        size_fn,
+    ) -> _QueueOutcome:
+        import multiprocessing
+        from queue import Empty
+
+        context = multiprocessing.get_context()
+        outcome = _QueueOutcome()
+        pending: List[Tuple[Any, CampaignConfig]] = list(items)
+        if not pending:
+            return outcome
+
+        worker_count = min(self.workers, len(pending))
+        try:
+            outbox = context.Queue()
+            inboxes = {wid: context.Queue() for wid in range(worker_count)}
+            processes: Dict[int, Any] = {}
+            for wid in range(worker_count):
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(wid, task, commit_dir, inboxes[wid], outbox),
+                    daemon=True,
+                )
+                proc.start()
+                processes[wid] = proc
+        except Exception:
+            raise _QueueStartupError("worker processes could not start")
+
+        inflight: Dict[int, _InFlight] = {}
+        idle: List[int] = []
+        error_attempts: Dict[Any, int] = {}
+        death_requeues: Dict[Any, int] = {}
+        restarts_left = self.worker_restarts
+        next_wid = worker_count
+        #: Extra dispatches allowed when a *worker* dies (as opposed to
+        #: the task itself failing): at least one, so a single kill -9
+        #: never takes the whole run down.
+        death_budget = max(1, retries)
+
+        def dispatch(wid: int) -> None:
+            if size_fn is not None:
+                best = max(
+                    range(len(pending)), key=lambda i: size_fn(pending[i][1])
+                )
+            else:
+                best = 0
+            key, config = pending.pop(best)
+            if splitter is not None and size_fn is not None and key not in death_requeues:
+                remaining = size_fn(config) + sum(
+                    size_fn(c) for _k, c in pending
+                ) + sum(size_fn(f.config) for f in inflight.values())
+                target = max(
+                    self.min_split_phones,
+                    -(-remaining // (max(1, len(processes)) * self.oversubscribe)),
+                )
+                while (
+                    size_fn(config) > target
+                    and size_fn(config) >= 2 * self.min_split_phones
+                ):
+                    halves = splitter(config)
+                    if halves is None:
+                        break
+                    config, other = halves
+                    key = config.fleet.phone_range
+                    pending.append((other.fleet.phone_range, other))
+                    self.stats.steals += 1
+            inboxes[wid].put(("task", key, config))
+            inflight[wid] = _InFlight(key, config, perf_counter())
+
+        def requeue(wid: int, reason: str, info: FailureInfo) -> None:
+            """A worker lost its task; retry it or record the failure."""
+            flight = inflight.pop(wid)
+            outcome.walls.setdefault(flight.key, []).append(
+                perf_counter() - flight.started_at
+            )
+            if reason == "error":
+                error_attempts[flight.key] = error_attempts.get(flight.key, 0) + 1
+                if error_attempts[flight.key] <= retries:
+                    self.stats.task_retries += 1
+                    pending.append((flight.key, flight.config))
+                    return
+            else:
+                death_requeues[flight.key] = death_requeues.get(flight.key, 0) + 1
+                if death_requeues[flight.key] <= death_budget:
+                    self.stats.task_retries += 1
+                    pending.append((flight.key, flight.config))
+                    return
+            attempts = 1 + error_attempts.get(flight.key, 0) + death_requeues.get(
+                flight.key, 0
+            )
+            outcome.failed[flight.key] = (flight.config, info, attempts - 1)
+
+        def respawn(dead_wid: int) -> None:
+            nonlocal restarts_left, next_wid
+            processes.pop(dead_wid, None)
+            inboxes.pop(dead_wid, None)
+            if restarts_left <= 0 or not (pending or inflight):
+                return
+            if processes and len(processes) >= len(pending) + len(inflight):
+                return  # plenty of survivors for the remaining work
+            restarts_left -= 1
+            self.stats.worker_restarts += 1
+            wid = next_wid
+            next_wid += 1
+            try:
+                inboxes[wid] = context.Queue()
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(wid, task, commit_dir, inboxes[wid], outbox),
+                    daemon=True,
+                )
+                proc.start()
+                processes[wid] = proc
+            except Exception:
+                inboxes.pop(wid, None)
+
+        try:
+            while pending or inflight:
+                if not processes:
+                    # Every worker is gone and nothing can respawn:
+                    # surface whatever was still queued as failures.
+                    for key, config in pending:
+                        outcome.failed.setdefault(
+                            key,
+                            (
+                                config,
+                                (
+                                    "WorkerDied",
+                                    "all workers died and the restart "
+                                    "budget is exhausted",
+                                    "",
+                                ),
+                                1 + death_requeues.get(key, 0),
+                            ),
+                        )
+                    pending.clear()
+                    break
+                while idle and pending:
+                    dispatch(idle.pop())
+                try:
+                    kind, wid, task_id, payload = outbox.get(
+                        timeout=self.poll_interval
+                    )
+                except Empty:
+                    now = perf_counter()
+                    for wid in list(inflight):
+                        proc = processes.get(wid)
+                        flight = inflight.get(wid)
+                        if flight is None:
+                            continue
+                        if proc is None or not proc.is_alive():
+                            requeue(
+                                wid,
+                                "died",
+                                (
+                                    "WorkerDied",
+                                    f"worker exited mid-task (phones "
+                                    f"{flight.key!r})",
+                                    "",
+                                ),
+                            )
+                            respawn(wid)
+                        elif (
+                            timeout is not None
+                            and now - flight.started_at > timeout
+                        ):
+                            self.stats.watchdog_fires += 1
+                            tel.instant(
+                                "watchdog fire",
+                                category="executor",
+                                track="runner",
+                                key=str(flight.key),
+                            )
+                            proc.kill()
+                            proc.join(timeout=1.0)
+                            requeue(
+                                wid,
+                                "timeout",
+                                (
+                                    "WorkerTimeout",
+                                    f"no result within {timeout}s "
+                                    f"(hung worker)",
+                                    "",
+                                ),
+                            )
+                            respawn(wid)
+                    for wid in [w for w in idle if not processes.get(w) or not processes[w].is_alive()]:
+                        idle.remove(wid)
+                        respawn(wid)
+                    continue
+                if kind == "ready":
+                    if pending:
+                        dispatch(wid)
+                    else:
+                        idle.append(wid)
+                elif kind == "done":
+                    flight = inflight.pop(wid, None)
+                    if flight is not None:
+                        outcome.walls.setdefault(flight.key, []).append(
+                            perf_counter() - flight.started_at
+                        )
+                        outcome.completed[flight.key] = (flight.config, payload)
+                    if pending:
+                        dispatch(wid)
+                    else:
+                        idle.append(wid)
+                elif kind == "error":
+                    requeue(wid, "error", payload)
+                    if pending:
+                        dispatch(wid)
+                    else:
+                        idle.append(wid)
+        finally:
+            for wid, proc in processes.items():
+                inbox = inboxes.get(wid)
+                if inbox is not None:
+                    try:
+                        inbox.put(("stop",))
+                    except Exception:
+                        pass
+            for proc in processes.values():
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=1.0)
+        return outcome
+
+
+def get_executor(
+    spec: Union[str, Executor, None], workers: int
+) -> Executor:
+    """Resolve a backend name (or pass an instance through).
+
+    ``workers == 1`` always resolves names to the serial backend — a
+    one-worker pool or queue is pure overhead — but an explicit
+    :class:`Executor` instance is honoured as given.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    name = EXECUTOR_POOL if spec is None else str(spec)
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {EXECUTORS}"
+        )
+    if workers <= 1 or name == EXECUTOR_SERIAL:
+        return SerialExecutor(max(1, workers))
+    if name == EXECUTOR_POOL:
+        return PoolExecutor(workers)
+    return WorkQueueExecutor(workers)

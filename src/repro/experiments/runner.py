@@ -2,21 +2,28 @@
 
 Every multi-seed study used to loop :func:`run_campaign` serially at
 several seconds per paper-scale run.  :func:`run_campaigns` fans the
-runs out over a ``ProcessPoolExecutor`` instead:
+runs out over a pluggable executor backend instead (see
+:mod:`repro.experiments.executors`):
 
 * results come back as picklable :class:`CampaignSummary` objects, in
   **deterministic config order** regardless of completion order;
 * a failing worker surfaces as :class:`CampaignExecutionError` carrying
-  the failing config's seed, position, attempt count, and the worker's
-  full traceback;
-* ``workers=1`` (or an environment where process pools cannot start —
-  sandboxes, restricted interpreters) degrades gracefully to in-process
-  serial execution with identical results;
+  the failing config's seed, position, attempt count, phone range (for
+  sharded slices), and the worker's full traceback;
+* ``workers=1`` (or an environment where worker processes cannot start
+  — sandboxes, restricted interpreters) degrades gracefully to
+  in-process serial execution with identical results;
 * an optional :class:`~repro.experiments.cache.CampaignCache` makes
-  repeated sweeps free: cached configs are never dispatched at all;
+  repeated sweeps free: cached configs are never dispatched at all,
+  and every fresh result is **committed to the cache the moment it
+  completes** — a killed sweep resumes from its last completed
+  campaign, not from scratch;
 * ``retries`` re-runs a failed campaign (transient worker crashes heal
   without losing the sweep), and ``timeout`` arms a watchdog that
   reclaims hung pooled workers instead of blocking the whole sweep;
+* ``executor`` selects the backend: ``"pool"`` (static process-pool
+  fan-out, the default), ``"workqueue"`` (dynamic queue with
+  self-healing workers), or ``"serial"``;
 * :func:`run_campaigns_resilient` returns a :class:`SweepManifest` —
   partial results plus a structured failure manifest — instead of
   aborting the entire sweep on one bad campaign.
@@ -30,13 +37,19 @@ identical to one that never failed (given a deterministic task).
 
 from __future__ import annotations
 
-import traceback as traceback_module
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.campaign import run_campaign
 from repro.experiments.config import CampaignConfig
+from repro.experiments.executors import (
+    CampaignExecutionError,
+    Executor,
+    FailureInfo,
+    format_failure,
+    get_executor,
+)
 from repro.experiments.summary import CampaignSummary
 from repro.observability.metrics import MetricsRegistry, merge_registries
 from repro.observability.telemetry import (
@@ -45,33 +58,16 @@ from repro.observability.telemetry import (
     current_telemetry,
 )
 
-
-class CampaignExecutionError(RuntimeError):
-    """A campaign run failed; carries which config it was and why.
-
-    ``traceback`` holds the worker-side traceback text (including the
-    remote traceback when the failure crossed a process boundary) and
-    ``attempts`` how many tries the runner made, so a failed sweep
-    member is diagnosable without re-running it.
-    """
-
-    def __init__(
-        self,
-        index: int,
-        seed: int,
-        cause: str,
-        traceback: str = "",
-        attempts: int = 1,
-    ) -> None:
-        super().__init__(
-            f"campaign #{index} (seed {seed}) failed after "
-            f"{attempts} attempt{'s' if attempts != 1 else ''}: {cause}"
-        )
-        self.index = index
-        self.seed = seed
-        self.cause = cause
-        self.traceback = traceback
-        self.attempts = attempts
+__all__ = [
+    "CampaignExecutionError",
+    "CampaignFailure",
+    "SweepManifest",
+    "TelemetryTask",
+    "merged_metrics",
+    "run_campaigns",
+    "run_campaigns_resilient",
+    "summarize_campaign",
+]
 
 
 @dataclass
@@ -91,6 +87,10 @@ class CampaignFailure:
     #: The watchdog deadline armed for this campaign's pooled attempts;
     #: ``None`` when no watchdog was armed (serial execution).
     watchdog_seconds: Optional[float] = None
+    #: The fleet slice the config covered (sharded campaigns), so a
+    #: failure that crossed a broken process pool still names exactly
+    #: which phone range was in flight.
+    phone_range: Optional[Tuple[int, int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -104,6 +104,9 @@ class CampaignFailure:
                 round(wall, 6) for wall in self.attempt_wall_seconds
             ],
             "watchdog_seconds": self.watchdog_seconds,
+            "phone_range": (
+                list(self.phone_range) if self.phone_range is not None else None
+            ),
         }
 
 
@@ -201,6 +204,7 @@ def run_campaigns(
     task: Callable[[CampaignConfig], CampaignSummary] = summarize_campaign,
     retries: int = 0,
     timeout: Optional[float] = None,
+    executor: Union[str, Executor, None] = None,
 ) -> List[CampaignSummary]:
     """Run many campaigns, fanned out over ``workers`` processes.
 
@@ -210,22 +214,27 @@ def run_campaigns(
         workers: process count; ``1`` runs serially in-process.
         cache: an object with ``get(config)``/``put(config, summary)``
             (see :class:`~repro.experiments.cache.CampaignCache`);
-            hits skip execution entirely.
+            hits skip execution entirely, fresh results are committed
+            as soon as they complete.
         task: the per-config work function.  Must be picklable when
             ``workers > 1``.  A task with an ``accepts_attempt``
             attribute is called as ``task(config, attempt=n)``.
         retries: extra attempts per failed campaign (0 = fail fast).
-        timeout: per-campaign watchdog in seconds for pooled workers; a
-            worker that produces no result in time is treated as hung
+        timeout: per-campaign watchdog in seconds for parallel workers;
+            a worker that produces no result in time is treated as hung
             and the campaign is retried or reported.  Serial execution
-            cannot be preempted, so the watchdog only arms the pool.
+            cannot be preempted, so the watchdog only arms parallel
+            backends.
+        executor: backend name (``"pool"``, ``"workqueue"``,
+            ``"serial"``) or an :class:`Executor` instance; ``None``
+            means ``"pool"``, the historical behaviour.
 
     Raises:
         CampaignExecutionError: when any run fails after its retries;
-            ``.seed``, ``.index``, ``.attempts``, and ``.traceback``
-            identify and explain the failing config.
+            ``.seed``, ``.index``, ``.attempts``, ``.phone_range``, and
+            ``.traceback`` identify and explain the failing config.
     """
-    manifest = _execute(configs, workers, cache, task, retries, timeout)
+    manifest = _execute(configs, workers, cache, task, retries, timeout, executor)
     if manifest.failures:
         first = manifest.failures[0]
         raise CampaignExecutionError(
@@ -234,6 +243,7 @@ def run_campaigns(
             f"{first.error_type}: {first.message}",
             traceback=first.traceback,
             attempts=first.attempts,
+            phone_range=first.phone_range,
         )
     return manifest.summaries  # type: ignore[return-value]
 
@@ -245,6 +255,7 @@ def run_campaigns_resilient(
     task: Callable[[CampaignConfig], CampaignSummary] = summarize_campaign,
     retries: int = 1,
     timeout: Optional[float] = None,
+    executor: Union[str, Executor, None] = None,
 ) -> SweepManifest:
     """Like :func:`run_campaigns`, but never aborts the sweep.
 
@@ -253,21 +264,10 @@ def run_campaigns_resilient(
     summaries that did complete.  A sweep hit by transient faults
     degrades to partial results with a diagnosis, not an exception.
     """
-    return _execute(configs, workers, cache, task, retries, timeout)
+    return _execute(configs, workers, cache, task, retries, timeout, executor)
 
 
 # -- execution engine -----------------------------------------------------------
-
-
-#: (error type name, message, formatted traceback) for one failed attempt.
-_FailureInfo = Tuple[str, str, str]
-
-
-def _format_failure(exc: BaseException) -> _FailureInfo:
-    text = "".join(
-        traceback_module.format_exception(type(exc), exc, exc.__traceback__)
-    )
-    return type(exc).__name__, str(exc), text
 
 
 def _call(
@@ -316,11 +316,13 @@ def _execute(
     task: Callable[..., CampaignSummary],
     retries: int,
     timeout: Optional[float],
+    executor: Union[str, Executor, None] = None,
 ) -> SweepManifest:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    backend = get_executor(executor, workers)
     configs = list(configs)
     results: List[Optional[CampaignSummary]] = [None] * len(configs)
 
@@ -332,7 +334,15 @@ def _execute(
         else:
             pending.append(index)
 
-    failed: Dict[int, _FailureInfo] = {}
+    committed: set = set()
+
+    def commit(index: int, summary: CampaignSummary) -> None:
+        """Durably store one completed campaign the moment it lands."""
+        if cache is not None and index not in committed:
+            cache.put(configs[index], summary)
+            committed.add(index)
+
+    failed: Dict[int, FailureInfo] = {}
     attempts: Dict[int, int] = {}
     walls: Dict[int, List[float]] = {}
     watchdogs: Dict[int, Optional[float]] = {}
@@ -340,18 +350,18 @@ def _execute(
     recovered = 0
     if pending:
         serial = list(pending)
-        if workers > 1 and len(pending) > 1:
-            serial = _run_pooled(
+        if backend.parallel and len(pending) > 1:
+            serial = backend.execute(
                 configs,
                 pending,
                 results,
-                workers,
                 task,
                 timeout,
                 failed,
                 walls,
                 watchdogs,
                 tel,
+                commit,
             )
         for index in serial:
             try:
@@ -361,7 +371,9 @@ def _execute(
             except CampaignExecutionError:
                 raise
             except Exception as exc:
-                failed[index] = _format_failure(exc)
+                failed[index] = format_failure(exc)
+            else:
+                commit(index, results[index])
         for index in pending:
             attempts[index] = 1
 
@@ -388,15 +400,11 @@ def _execute(
                 except CampaignExecutionError:
                     raise
                 except Exception as exc:
-                    failed[index] = _format_failure(exc)
+                    failed[index] = format_failure(exc)
                 else:
                     del failed[index]
                     recovered += 1
-
-        if cache is not None:
-            for index in pending:
-                if results[index] is not None:
-                    cache.put(configs[index], results[index])
+                    commit(index, results[index])
 
     failures = [
         CampaignFailure(
@@ -408,110 +416,10 @@ def _execute(
             attempts=attempts.get(index, 1),
             attempt_wall_seconds=walls.get(index, []),
             watchdog_seconds=watchdogs.get(index),
+            phone_range=configs[index].fleet.phone_range,
         )
         for index in sorted(failed)
     ]
     return SweepManifest(
         summaries=results, failures=failures, recovered=recovered
     )
-
-
-def _run_pooled(
-    configs: Sequence[CampaignConfig],
-    pending: Sequence[int],
-    results: List[Optional[CampaignSummary]],
-    workers: int,
-    task: Callable[..., CampaignSummary],
-    timeout: Optional[float],
-    failed: Dict[int, _FailureInfo],
-    walls: Dict[int, List[float]],
-    watchdogs: Dict[int, Optional[float]],
-    tel: Telemetry,
-) -> List[int]:
-    """Execute ``pending`` on a process pool, filling ``results``.
-
-    Returns the indices that still need a serial first attempt: all of
-    them when the pool cannot start, the unfinished tail when it breaks
-    mid-way.  Worker exceptions land in ``failed``; a worker that
-    misses the ``timeout`` watchdog is recorded as hung (and its future
-    cancelled) rather than blocking the sweep.  Per-attempt wall time
-    (submission to outcome, as observed from the runner) lands in
-    ``walls``, and ``watchdogs`` records the deadline each pooled
-    campaign was actually armed with.
-    """
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures import TimeoutError as FutureTimeoutError
-        from concurrent.futures.process import BrokenProcessPool
-
-        executor = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-    except Exception:
-        return list(pending)
-
-    watchdog_series = (
-        tel.registry.counter(
-            "runner.watchdog_fires_total",
-            help="pooled workers reclaimed by the watchdog",
-        ).series()
-        if tel.metrics
-        else None
-    )
-    leftover: List[int] = []
-    try:
-        submitted_at = {index: perf_counter() for index in pending}
-        futures = {index: executor.submit(task, configs[index]) for index in pending}
-        broken = False
-        for index in pending:
-            if broken:
-                leftover.append(index)
-                continue
-            watchdogs[index] = timeout
-            try:
-                with tel.span(
-                    "campaign.await",
-                    category="runner",
-                    track="runner",
-                    index=index,
-                    seed=configs[index].seed,
-                ):
-                    results[index] = futures[index].result(timeout=timeout)
-            except BrokenProcessPool:
-                # The pool died under us (a killed worker, a sandbox
-                # denying fork): finish the rest in-process.  No
-                # watchdog ever guarded this attempt, so unrecord it.
-                broken = True
-                watchdogs.pop(index, None)
-                leftover.append(index)
-            except (FutureTimeoutError, TimeoutError):
-                futures[index].cancel()
-                walls.setdefault(index, []).append(
-                    perf_counter() - submitted_at[index]
-                )
-                if watchdog_series is not None:
-                    watchdog_series.value += 1.0
-                tel.instant(
-                    "watchdog fire",
-                    category="runner",
-                    track="runner",
-                    index=index,
-                    seed=configs[index].seed,
-                )
-                failed[index] = (
-                    "WorkerTimeout",
-                    f"no result within {timeout}s (hung worker)",
-                    "",
-                )
-            except CampaignExecutionError:
-                raise
-            except Exception as exc:
-                walls.setdefault(index, []).append(
-                    perf_counter() - submitted_at[index]
-                )
-                failed[index] = _format_failure(exc)
-            else:
-                walls.setdefault(index, []).append(
-                    perf_counter() - submitted_at[index]
-                )
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
-    return leftover

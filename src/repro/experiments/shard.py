@@ -6,8 +6,9 @@ holds every phone's parsed records in one :class:`Dataset` before
 analysing, so memory grows with the whole fleet.  This module splits
 one logical campaign into deterministic per-phone-range shards:
 
-* :func:`plan_shards` slices ``[0, phone_count)`` into K contiguous,
-  near-even ranges, each expressed as the *same* campaign config with
+* :func:`plan_shards` slices ``[0, phone_count)`` into K contiguous
+  ranges (near-even by default, ``weights`` for deliberately skewed
+  plans), each expressed as the *same* campaign config with
   ``fleet.phone_range`` set — phone ids, per-phone random streams, and
   enrollment draws are exactly what the monolithic run would produce
   for the same indices (see :meth:`Fleet.build`);
@@ -16,14 +17,21 @@ one logical campaign into deterministic per-phone-range shards:
   :class:`~repro.analysis.streaming.CampaignAccumulator` — raw records
   never leave the worker, so peak memory is bounded by the largest
   shard, not the fleet;
-* :func:`merge_shards` folds the shard partials into one
+* :func:`merge_shards` folds shard partials into one
   :class:`CampaignSummary` that is **bit-identical** to the summary a
-  monolithic run of the same config produces (the streaming
-  accumulators replay the batch pipeline's aggregation orders
-  exactly);
-* :func:`run_sharded_campaign` wires it all through the existing
-  process-pool runner (:func:`~repro.experiments.runner.run_campaigns`),
-  inheriting its cache integration, retries, and hung-worker watchdog.
+  monolithic run of the same config produces, for *any* tiling of the
+  fleet (the streaming accumulators replay the batch pipeline's
+  aggregation orders exactly); :func:`merge_shard_files` is the
+  spill-to-disk variant that folds committed shard files one at a time
+  from disk, keeping the parent's peak memory flat in shard count;
+* :func:`run_sharded_campaign` wires it all through a pluggable
+  executor backend (:mod:`repro.experiments.executors`): ``"pool"``
+  rides the classic process-pool runner, ``"workqueue"`` runs
+  work-stealing queue workers that durably commit every shard to the
+  cache *before* acknowledging it — which is what makes a mega-fleet
+  run resumable: after ``kill -9`` mid-run, a restart replans around
+  the committed ranges (:func:`scan_committed_shards`), recomputes
+  only the gaps, and produces a bit-identical summary.
 
 Simulation-side telemetry counters are the one deliberate exception to
 bit-identity: K shard simulators schedule K times as many periodic
@@ -34,9 +42,22 @@ per-shard registries merge canonically when enabled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from functools import reduce
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.ingest import (
     PIPELINE_STRUCTURED,
@@ -47,27 +68,66 @@ from repro.analysis.streaming import CampaignAccumulator
 from repro.experiments.cache import CampaignCache
 from repro.experiments.campaign import _sample_ingest_metrics
 from repro.experiments.config import CampaignConfig
-from repro.experiments.runner import run_campaigns
-from repro.experiments.summary import CampaignSummary
+from repro.experiments.executors import (
+    EXECUTOR_POOL,
+    EXECUTOR_WORKQUEUE,
+    CampaignExecutionError,
+    Executor,
+    ExecutorStats,
+    WorkQueueExecutor,
+    get_executor,
+)
+from repro.experiments.runner import run_campaigns_resilient
+from repro.experiments.summary import SUMMARY_FORMAT_VERSION, CampaignSummary
 from repro.observability.metrics import merge_registries
 from repro.observability.telemetry import (
     TELEMETRY_METRICS,
     TELEMETRY_OFF,
     Telemetry,
+    current_telemetry,
 )
-from repro.phone.fleet import Fleet, accumulate_ground_truth
+from repro.phone.fleet import (
+    GROUND_TRUTH_KEYS,
+    Fleet,
+    accumulate_ground_truth,
+)
 
 #: Version stamp of the shard-result wire format (cache entries).
-SHARD_FORMAT_VERSION = 1
+#: v2 added ``events_fired`` and hardened the loader.
+SHARD_FORMAT_VERSION = 2
+
+#: Merge modes for :func:`run_sharded_campaign`.
+MERGE_AUTO = "auto"
+MERGE_MEMORY = "memory"
+MERGE_STREAMING = "streaming"
+MERGE_MODES = (MERGE_AUTO, MERGE_MEMORY, MERGE_STREAMING)
+
+_SHARD_KEYS = ("phone_range", "config", "accumulator", "ground_truth", "ingest")
 
 
-def plan_shards(config: CampaignConfig, shards: int) -> List[CampaignConfig]:
+def _slice_config(config: CampaignConfig, start: int, stop: int) -> CampaignConfig:
+    """The same campaign restricted to global phone indices [start, stop)."""
+    from dataclasses import replace
+
+    return replace(
+        config, fleet=replace(config.fleet, phone_range=(start, stop))
+    )
+
+
+def plan_shards(
+    config: CampaignConfig,
+    shards: int,
+    weights: Optional[Sequence[float]] = None,
+) -> List[CampaignConfig]:
     """Slice one campaign into per-phone-range shard configs.
 
     Ranges are contiguous and near-even (the first ``phone_count %
     shards`` shards get one extra phone), so the plan is a pure
     function of ``(phone_count, shards)`` — identical plans produce
-    identical cache keys run after run.
+    identical cache keys run after run.  ``weights`` makes the sizes
+    proportional instead (largest-remainder apportionment, every shard
+    at least one phone) — the knob benchmarks use to build
+    deliberately skewed long-tail plans.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -81,19 +141,56 @@ def plan_shards(config: CampaignConfig, shards: int) -> List[CampaignConfig]:
         raise ValueError(
             f"cannot split {count} phones into {shards} shards"
         )
-    base, extra = divmod(count, shards)
+    if weights is None:
+        base, extra = divmod(count, shards)
+        sizes = [base + (1 if index < extra else 0) for index in range(shards)]
+    else:
+        if len(weights) != shards:
+            raise ValueError(
+                f"got {len(weights)} weights for {shards} shards"
+            )
+        if any(w <= 0 for w in weights):
+            raise ValueError("shard weights must be positive")
+        total = float(sum(weights))
+        raw = [count * w / total for w in weights]
+        sizes = [int(x) for x in raw]
+        order = sorted(
+            range(shards), key=lambda i: (-(raw[i] - sizes[i]), i)
+        )
+        for i in order[: count - sum(sizes)]:
+            sizes[i] += 1
+        while 0 in sizes:
+            big = max(range(shards), key=lambda i: sizes[i])
+            sizes[sizes.index(0)] += 1
+            sizes[big] -= 1
     configs: List[CampaignConfig] = []
     start = 0
-    for index in range(shards):
-        stop = start + base + (1 if index < extra else 0)
-        configs.append(
-            replace(
-                config,
-                fleet=replace(config.fleet, phone_range=(start, stop)),
-            )
-        )
-        start = stop
+    for size in sizes:
+        configs.append(_slice_config(config, start, start + size))
+        start += size
     return configs
+
+
+def shard_config_size(config: CampaignConfig) -> int:
+    """Phones in a shard config's slice — the work-stealing size metric."""
+    start, stop = config.fleet.resolved_range()
+    return stop - start
+
+
+def split_shard_config(
+    config: CampaignConfig,
+) -> Optional[Tuple[CampaignConfig, CampaignConfig]]:
+    """Halve a shard config's phone range (the work-stealing splitter).
+
+    Returns ``None`` when the range is a single phone.  Any tiling of
+    ``[0, phone_count)`` merges bit-identically, so splitting is always
+    sound — it only changes which worker simulates which phones.
+    """
+    start, stop = config.fleet.resolved_range()
+    if stop - start < 2:
+        return None
+    mid = (start + stop) // 2
+    return _slice_config(config, start, mid), _slice_config(config, mid, stop)
 
 
 @dataclass
@@ -103,7 +200,8 @@ class ShardResult:
     Everything the merge needs and nothing the worker should keep: the
     streaming accumulator (analysis partials), the per-phone ground
     truth (simulator-side counters in phone-index order), the shard's
-    quarantine accounting, and an optional telemetry snapshot.
+    quarantine accounting, the events the shard simulator fired, and
+    an optional telemetry snapshot.
     """
 
     #: Half-open global phone-index range this shard covered.
@@ -117,6 +215,8 @@ class ShardResult:
     ingest: IngestReport = field(default_factory=IngestReport)
     #: ``Telemetry.snapshot()`` of the worker ({} when telemetry off).
     telemetry: Dict[str, Any] = field(default_factory=dict)
+    #: Simulator events the shard fired (aggregate throughput input).
+    events_fired: int = 0
     format_version: int = SHARD_FORMAT_VERSION
 
     @property
@@ -133,34 +233,89 @@ class ShardResult:
             "ground_truth": self.ground_truth,
             "ingest": self.ingest.to_dict(),
             "telemetry": self.telemetry,
+            "events_fired": self.events_fired,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ShardResult":
-        """Inverse of :meth:`to_dict`.
+        """Inverse of :meth:`to_dict`, hardened against untrusted bytes.
 
-        Raises :class:`ValueError` on any untrusted shape (wrong
-        format version, missing keys), so a cache configured with this
-        loader evicts foreign or stale entries as corrupt.
+        Raises :class:`ValueError` on any wire-format violation —
+        wrong or missing format version, truncated payload (missing
+        keys, ground truth shorter than the phone range), a malformed
+        or empty range, a foreign payload — so a cache configured with
+        this loader evicts bad entries as corrupt instead of misreading
+        them, and the resume scan skips them instead of adopting them.
         """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"shard payload is not an object (got {type(data).__name__})"
+            )
         version = data.get("format_version")
         if version != SHARD_FORMAT_VERSION:
             raise ValueError(
                 f"unsupported shard format version {version!r} "
                 f"(expected {SHARD_FORMAT_VERSION})"
             )
+        missing = [key for key in _SHARD_KEYS if key not in data]
+        if missing:
+            raise ValueError(
+                f"truncated shard payload: missing {', '.join(missing)}"
+            )
+        raw_range = data["phone_range"]
+        if not isinstance(raw_range, (list, tuple)) or len(raw_range) != 2:
+            raise ValueError(f"malformed phone_range {raw_range!r}")
+        try:
+            start, stop = int(raw_range[0]), int(raw_range[1])
+        except (TypeError, ValueError):
+            raise ValueError(f"malformed phone_range {raw_range!r}") from None
+        if not 0 <= start < stop:
+            raise ValueError(
+                f"phone_range [{start}, {stop}) must be a non-empty "
+                f"slice of [0, fleet)"
+            )
+        if not isinstance(data["config"], dict):
+            raise ValueError("shard config is not an object")
         try:
             accumulator = CampaignAccumulator.from_dict(data["accumulator"])
         except Exception as exc:
             raise ValueError(f"bad shard accumulator: {exc}") from None
-        start, stop = data["phone_range"]
+        ground_truth = data["ground_truth"]
+        if not isinstance(ground_truth, list):
+            raise ValueError("shard ground_truth is not a list")
+        if len(ground_truth) != stop - start:
+            raise ValueError(
+                f"truncated shard payload: {len(ground_truth)} ground-truth "
+                f"parts for {stop - start} phones"
+            )
+        for part in ground_truth:
+            if not isinstance(part, dict) or any(
+                key not in part for key in GROUND_TRUTH_KEYS
+            ):
+                raise ValueError("malformed ground-truth part")
+        if accumulator.phone_count > stop - start:
+            raise ValueError(
+                f"accumulator covers {accumulator.phone_count} phones but "
+                f"the range holds {stop - start}"
+            )
+        events = data.get("events_fired", 0)
+        if not isinstance(events, int) or isinstance(events, bool) or events < 0:
+            raise ValueError(f"malformed events_fired {events!r}")
+        telemetry = data.get("telemetry", {})
+        if not isinstance(telemetry, dict):
+            raise ValueError("shard telemetry is not an object")
+        try:
+            ingest = IngestReport.from_dict(data["ingest"])
+        except Exception as exc:
+            raise ValueError(f"bad shard ingest report: {exc}") from None
         return cls(
-            phone_range=(int(start), int(stop)),
+            phone_range=(start, stop),
             config=dict(data["config"]),
             accumulator=accumulator,
-            ground_truth=list(data["ground_truth"]),
-            ingest=IngestReport.from_dict(data["ingest"]),
-            telemetry=dict(data.get("telemetry", {})),
+            ground_truth=list(ground_truth),
+            ingest=ingest,
+            telemetry=dict(telemetry),
+            events_fired=events,
         )
 
 
@@ -239,6 +394,7 @@ class ShardTask:
             ground_truth=fleet.per_phone_ground_truth(),
             ingest=dataset.ingest_report,
             telemetry=snapshot,
+            events_fired=fleet.sim.events_fired,
         )
 
 
@@ -252,18 +408,171 @@ def shard_cache(directory: str) -> CampaignCache:
     return CampaignCache(directory, loader=ShardResult.from_dict)
 
 
-def _ordered_results(
-    results: Sequence[ShardResult], config: CampaignConfig
-) -> List[ShardResult]:
-    """Shard results sorted by range start, coverage-validated.
+# -- committed shards on disk (resume + streaming merge) ------------------------
 
-    The ranges must tile ``[0, phone_count)`` exactly — no gap, no
-    overlap — or the merged summary would silently drop or double-count
-    phones.
+
+@dataclass(frozen=True)
+class CommittedShard:
+    """A durably committed shard file: its fleet slice and its path."""
+
+    phone_range: Tuple[int, int]
+    path: str
+
+
+def load_shard_file(path: str) -> ShardResult:
+    """Read one committed shard cache entry back from disk.
+
+    Raises :class:`ValueError` (with the path) on anything untrusted:
+    unreadable bytes, a foreign entry, a truncated payload.
     """
-    ordered = sorted(results, key=lambda r: r.phone_range[0])
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        if not isinstance(entry, dict):
+            raise ValueError("entry is not an object")
+        return ShardResult.from_dict(entry["summary"])
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise ValueError(f"unreadable shard file {path!r}: {exc}") from None
+
+
+def _campaign_identity(config_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """A shard config dict with its slice erased — the campaign it serves."""
+    identity = dict(config_dict)
+    fleet = dict(identity.get("fleet") or {})
+    fleet["phone_range"] = None
+    identity["fleet"] = fleet
+    return identity
+
+
+def scan_committed_shards(
+    cache: CampaignCache, config: CampaignConfig
+) -> List[CommittedShard]:
+    """Find every durably committed shard of ``config`` in the cache.
+
+    Used by the resume path after a crash: entries are matched by
+    campaign identity (the shard's config with its ``phone_range``
+    erased must equal the unsharded campaign config), fully validated
+    through :meth:`ShardResult.from_dict`, and anything unreadable,
+    foreign, or stale is skipped — its range simply stays uncovered
+    and gets recomputed, so a torn or corrupt entry can never poison a
+    resumed summary.  Results come back ordered by range start.
+    """
+    base = config.to_dict()
+    try:
+        names = sorted(os.listdir(cache.directory))
+    except OSError:
+        return []
+    found: List[CommittedShard] = []
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(cache.directory, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if not isinstance(entry, dict):
+                continue
+            if entry.get("format_version") != SUMMARY_FORMAT_VERSION:
+                continue
+            result = ShardResult.from_dict(entry["summary"])
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        if _campaign_identity(result.config) != base:
+            continue
+        declared = (result.config.get("fleet") or {}).get("phone_range")
+        if declared is None or tuple(result.phone_range) != (
+            int(declared[0]),
+            int(declared[1]),
+        ):
+            continue
+        if result.phone_range[1] > config.fleet.phone_count:
+            continue
+        found.append(CommittedShard(result.phone_range, path))
+    found.sort(key=lambda c: c.phone_range)
+    return found
+
+
+def _resume_plan(
+    committed: Sequence[CommittedShard], phone_count: int
+) -> Tuple[List[CommittedShard], List[Tuple[int, int]]]:
+    """Choose reusable committed shards and the gaps left to compute.
+
+    Committed ranges may overlap across interrupted runs with different
+    tilings (a steal-split half next to the full shard it came from);
+    a greedy earliest-start pass keeps a non-overlapping subset and
+    everything it does not cover becomes a gap to recompute.
+    """
+    chosen: List[CommittedShard] = []
+    cursor = 0
+    gaps: List[Tuple[int, int]] = []
+    for shard in sorted(
+        committed, key=lambda c: (c.phone_range[0], -c.phone_range[1])
+    ):
+        start, stop = shard.phone_range
+        if start < cursor:
+            continue
+        if start > cursor:
+            gaps.append((cursor, start))
+        chosen.append(shard)
+        cursor = stop
+    if cursor < phone_count:
+        gaps.append((cursor, phone_count))
+    return chosen, gaps
+
+
+def _plan_gap_ranges(
+    gaps: Sequence[Tuple[int, int]], target_size: int
+) -> List[Tuple[int, int]]:
+    """Slice resume gaps into near-even chunks of about ``target_size``."""
+    ranges: List[Tuple[int, int]] = []
+    for start, stop in gaps:
+        size = stop - start
+        pieces = max(1, -(-size // max(1, target_size)))
+        base, extra = divmod(size, pieces)
+        cursor = start
+        for index in range(pieces):
+            step = base + (1 if index < extra else 0)
+            ranges.append((cursor, cursor + step))
+            cursor += step
+    return ranges
+
+
+# -- merging --------------------------------------------------------------------
+
+
+@dataclass
+class MergedCampaign:
+    """Everything one merge pass produced, beyond the summary itself."""
+
+    summary: CampaignSummary
+    ingest: IngestReport
+    shard_ranges: List[Tuple[int, int]]
+    events_fired: int = 0
+
+
+def _merge_stream(
+    results: Iterable[ShardResult], config: CampaignConfig
+) -> MergedCampaign:
+    """Fold shard results — in ascending range order — one at a time.
+
+    The single incremental pass behind both merge modes: tiling is
+    validated as the cursor advances (no gap, no overlap, exact
+    coverage of ``[0, phone_count)``), the accumulator merge is a
+    left fold (order-independent by construction, see
+    :mod:`repro.analysis.streaming`), and the ground-truth float fold
+    continues in place so chunked folding is bit-identical to one big
+    fold.  Peak memory is the merged accumulator plus **one** shard —
+    never all K — which is what keeps the streaming parent flat in
+    shard count.
+    """
     expected = 0
-    for result in ordered:
+    accumulator: Optional[CampaignAccumulator] = None
+    ground_truth = {key: 0.0 for key in GROUND_TRUTH_KEYS}
+    ingest = IngestReport()
+    snapshots: List[Dict[str, Any]] = []
+    ranges: List[Tuple[int, int]] = []
+    events = 0
+    for result in results:
         start, stop = result.phone_range
         if start != expected:
             raise ValueError(
@@ -271,36 +580,24 @@ def _ordered_results(
                 f"starting at {expected}, got {result.phone_range!r}"
             )
         expected = stop
+        ranges.append((start, stop))
+        accumulator = (
+            result.accumulator
+            if accumulator is None
+            else accumulator.merge(result.accumulator)
+        )
+        accumulate_ground_truth(result.ground_truth, into=ground_truth)
+        ingest = ingest.merge(result.ingest)
+        if result.telemetry:
+            snapshots.append(result.telemetry)
+        events += result.events_fired
+    if accumulator is None:
+        raise ValueError("no shard results to merge")
     if expected != config.fleet.phone_count:
         raise ValueError(
             f"shard ranges cover [0, {expected}) but the fleet has "
             f"{config.fleet.phone_count} phones"
         )
-    return ordered
-
-
-def merge_shards(
-    results: Sequence[ShardResult], config: CampaignConfig
-) -> CampaignSummary:
-    """Fold shard partials into the monolithic campaign's summary.
-
-    ``config`` is the *original* unsharded campaign config; the
-    returned summary carries it (not any shard's sliced config), its
-    ground truth folds per-phone partials in global phone-index order,
-    and its sections come from the merged streaming accumulators — all
-    bit-identical to ``CampaignSummary.from_result(run_campaign(config))``
-    up to the telemetry caveat in the module docstring.
-    """
-    if not results:
-        raise ValueError("no shard results to merge")
-    ordered = _ordered_results(results, config)
-    merged = reduce(
-        lambda a, b: a.merge(b), (r.accumulator for r in ordered)
-    )
-    ground_truth = accumulate_ground_truth(
-        part for result in ordered for part in result.ground_truth
-    )
-    snapshots = [r.telemetry for r in ordered if r.telemetry]
     telemetry: Dict[str, Any] = {}
     if snapshots:
         telemetry = {
@@ -310,12 +607,55 @@ def merge_shards(
             ).to_dict(),
             "spans": [],
         }
-    return CampaignSummary(
+    summary = CampaignSummary(
         config=config.to_dict(),
         ground_truth=ground_truth,
-        sections=merged.sections(),
+        sections=accumulator.sections(),
         telemetry=telemetry,
     )
+    return MergedCampaign(
+        summary=summary,
+        ingest=ingest,
+        shard_ranges=ranges,
+        events_fired=events,
+    )
+
+
+def merge_shards(
+    results: Sequence[ShardResult], config: CampaignConfig
+) -> CampaignSummary:
+    """Fold in-memory shard partials into the monolithic summary.
+
+    ``config`` is the *original* unsharded campaign config; the
+    returned summary carries it (not any shard's sliced config), its
+    ground truth folds per-phone partials in global phone-index order,
+    and its sections come from the merged streaming accumulators — all
+    bit-identical to ``CampaignSummary.from_result(run_campaign(config))``
+    up to the telemetry caveat in the module docstring.
+    """
+    ordered = sorted(results, key=lambda r: r.phone_range[0])
+    return _merge_stream(iter(ordered), config).summary
+
+
+def merge_shard_files(
+    shard_files: Sequence[CommittedShard], config: CampaignConfig
+) -> MergedCampaign:
+    """Streaming (spill-to-disk) merge: fold shard files one at a time.
+
+    The memory-mode merge holds every :class:`ShardResult` at once, so
+    the parent pays O(K · shard) during the fold.  This variant reads
+    each committed file from disk only when the cursor reaches its
+    range and drops it as soon as it is folded in, so parent peak RSS
+    is flat in shard count — the property ``BENCH_megafleet.json``
+    pins across K ∈ {8, 32}.
+    """
+    ordered = sorted(shard_files, key=lambda c: c.phone_range)
+
+    def load() -> Iterator[ShardResult]:
+        for committed in ordered:
+            yield load_shard_file(committed.path)
+
+    return _merge_stream(load(), config)
 
 
 def merge_ingest_reports(results: Sequence[ShardResult]) -> IngestReport:
@@ -332,10 +672,19 @@ class MegafleetResult:
     """What one sharded campaign produced, beyond the summary itself."""
 
     summary: CampaignSummary
-    #: The shard plan actually executed, in phone-index order.
+    #: The shard tiling actually executed (finer than the plan when
+    #: work stealing split a long-tailed range), in phone-index order.
     shard_ranges: List[Tuple[int, int]]
     #: Merged quarantine accounting across every shard.
     ingest: IngestReport
+    #: Which executor backend ran the shards.
+    executor: str = EXECUTOR_POOL
+    #: How the shards were merged (``memory`` or ``streaming``).
+    merge_mode: str = MERGE_MEMORY
+    #: Steal / retry / resume / restart tallies for the run.
+    stats: ExecutorStats = field(default_factory=ExecutorStats)
+    #: Aggregate simulator events fired across every shard.
+    events_fired: int = 0
 
     @property
     def shard_count(self) -> int:
@@ -346,6 +695,10 @@ class MegafleetResult:
             "summary": self.summary.to_dict(),
             "shard_ranges": [list(r) for r in self.shard_ranges],
             "ingest": self.ingest.to_dict(),
+            "executor": self.executor,
+            "merge_mode": self.merge_mode,
+            "counters": self.stats.to_dict(),
+            "events_fired": self.events_fired,
         }
 
 
@@ -359,28 +712,161 @@ def run_sharded_campaign(
     telemetry_level: Optional[str] = None,
     retries: int = 0,
     timeout: Optional[float] = None,
+    executor: Union[str, Executor, None] = None,
+    merge: str = MERGE_AUTO,
+    spill_dir: Optional[str] = None,
+    weights: Optional[Sequence[float]] = None,
 ) -> MegafleetResult:
     """Run one logical campaign as ``shards`` independent slices.
 
-    Shards fan out over the standard campaign runner — process pool,
-    serial fallback, optional :func:`shard_cache`, retries, watchdog —
-    and fold back into one :class:`CampaignSummary` bit-identical to
-    the monolithic run (telemetry counters aside; see module docs).
+    Backends (``executor``):
+
+    * ``"pool"`` (default) — shards fan out over the standard campaign
+      runner: static process-pool assignment, cache integration,
+      retries, hung-worker watchdog.
+    * ``"workqueue"`` — work-stealing queue workers; every completed
+      shard is durably committed to the cache (or a spill directory)
+      *before* it is acknowledged, so ``kill -9`` mid-run loses only
+      in-flight shards.
+
+    With a ``cache``, any run first scans for shards already committed
+    by an earlier (possibly killed) run of the same campaign, counts
+    them as resumed, and computes only the uncovered gaps — a restart
+    after a crash converges on the same bit-identical summary as an
+    uninterrupted run.
+
+    ``merge`` selects how the fold back into one
+    :class:`CampaignSummary` happens: ``"memory"`` holds every shard
+    result at once; ``"streaming"`` (workqueue only — results must be
+    on disk) folds committed files one at a time so parent peak RSS is
+    flat in shard count.  ``"auto"`` picks streaming for the workqueue
+    backend and memory otherwise.  Either way the merged summary is
+    bit-identical to the monolithic run (telemetry counters aside; see
+    module docs).
     """
-    shard_configs = plan_shards(config, shards)
+    if merge not in MERGE_MODES:
+        raise ValueError(f"unknown merge mode {merge!r}; expected {MERGE_MODES}")
+    if isinstance(executor, Executor):
+        backend = executor
+    elif (executor or EXECUTOR_POOL) == EXECUTOR_WORKQUEUE:
+        # Built directly (not via get_executor) so workers=1 still runs
+        # the durable-commit path instead of degrading to serial.
+        backend = WorkQueueExecutor(workers)
+    else:
+        backend = get_executor(executor, workers)
+    queue_backend = isinstance(backend, WorkQueueExecutor)
+    merge_mode = merge
+    if merge_mode == MERGE_AUTO:
+        merge_mode = MERGE_STREAMING if queue_backend else MERGE_MEMORY
+    if merge_mode == MERGE_STREAMING and not queue_backend:
+        raise ValueError(
+            "streaming merge needs shard results on disk; use the "
+            "'workqueue' executor"
+        )
+
+    plan_configs = plan_shards(config, shards, weights=weights)
+    tel = current_telemetry()
+
+    committed: List[CommittedShard] = []
+    if cache is not None:
+        chosen, gaps = _resume_plan(
+            scan_committed_shards(cache, config), config.fleet.phone_count
+        )
+        committed = chosen
+        if chosen:
+            backend.stats.resumed_shards += len(chosen)
+            cache.hits += len(chosen)
+            target = -(-config.fleet.phone_count // shards)
+            task_configs = [
+                _slice_config(config, start, stop)
+                for start, stop in _plan_gap_ranges(gaps, target)
+            ]
+        else:
+            task_configs = plan_configs
+    else:
+        task_configs = plan_configs
+
     task = ShardTask(
         pipeline=pipeline, telemetry_level=telemetry_level, plan=plan
     )
-    results = run_campaigns(
-        shard_configs,
-        workers=workers,
-        cache=cache,
-        task=task,
-        retries=retries,
-        timeout=timeout,
-    )
+
+    if queue_backend:
+        temp_dir: Optional[str] = None
+        if cache is not None:
+            commit_dir = cache.directory
+        elif spill_dir is not None:
+            commit_dir = spill_dir
+        else:
+            commit_dir = temp_dir = tempfile.mkdtemp(prefix="repro-shards-")
+        try:
+            completed: List[Tuple[Tuple[int, int], CampaignConfig]] = []
+            if task_configs:
+                if cache is not None:
+                    cache.misses += len(task_configs)
+                completed = backend.execute_shards(
+                    [
+                        (cfg.fleet.resolved_range(), cfg)
+                        for cfg in task_configs
+                    ],
+                    task,
+                    commit_dir,
+                    tel=tel,
+                    retries=retries,
+                    timeout=timeout,
+                    splitter=split_shard_config,
+                    size_fn=shard_config_size,
+                )
+            commit_cache = CampaignCache(commit_dir)
+            shard_files = committed + [
+                CommittedShard(rng, commit_cache.path_for(cfg))
+                for rng, cfg in completed
+            ]
+            if merge_mode == MERGE_STREAMING:
+                merged = merge_shard_files(shard_files, config)
+            else:
+                loaded = [load_shard_file(c.path) for c in shard_files]
+                merged = _merge_stream(
+                    iter(sorted(loaded, key=lambda r: r.phone_range[0])),
+                    config,
+                )
+        finally:
+            if temp_dir is not None:
+                shutil.rmtree(temp_dir, ignore_errors=True)
+    else:
+        manifest = run_campaigns_resilient(
+            task_configs,
+            workers=workers,
+            cache=cache,
+            task=task,
+            retries=retries,
+            timeout=timeout,
+            executor=backend,
+        )
+        if manifest.failures:
+            first = manifest.failures[0]
+            raise CampaignExecutionError(
+                first.index,
+                first.seed,
+                f"{first.error_type}: {first.message}",
+                traceback=first.traceback,
+                attempts=first.attempts,
+                phone_range=first.phone_range,
+            )
+        backend.stats.task_retries += manifest.recovered
+        results = list(manifest.completed_summaries()) + [
+            load_shard_file(c.path) for c in committed
+        ]
+        merged = _merge_stream(
+            iter(sorted(results, key=lambda r: r.phone_range[0])), config
+        )
+
+    backend.stats.sample(tel)
     return MegafleetResult(
-        summary=merge_shards(results, config),
-        shard_ranges=[r.phone_range for r in results],
-        ingest=merge_ingest_reports(results),
+        summary=merged.summary,
+        shard_ranges=merged.shard_ranges,
+        ingest=merged.ingest,
+        executor=backend.name,
+        merge_mode=merge_mode,
+        stats=backend.stats,
+        events_fired=merged.events_fired,
     )

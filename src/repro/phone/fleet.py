@@ -333,15 +333,20 @@ GROUND_TRUTH_KEYS: Tuple[str, ...] = (
 
 def accumulate_ground_truth(
     per_phone: Iterable[Dict[str, float]],
+    into: Optional[Dict[str, float]] = None,
 ) -> Dict[str, float]:
     """Fold per-phone ground-truth partials into fleet totals.
 
     The fold visits phones in the given order; pass partials in global
     phone-index order to reproduce a monolithic fleet's float sums
     exactly (all entries except ``observed_hours`` are integer-valued,
-    so only that key is order-sensitive in principle).
+    so only that key is order-sensitive in principle).  ``into``
+    continues an earlier fold in place (the streaming shard merge folds
+    one shard file at a time), which is bit-identical to one big fold
+    because a left fold over a concatenation is the same float-add
+    sequence as chained left folds over its pieces.
     """
-    totals = {key: 0.0 for key in GROUND_TRUTH_KEYS}
+    totals = into if into is not None else {key: 0.0 for key in GROUND_TRUTH_KEYS}
     for part in per_phone:
         for key in GROUND_TRUTH_KEYS:
             totals[key] += part[key]

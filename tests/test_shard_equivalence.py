@@ -11,6 +11,12 @@ cache, and with collection-path fault injection enabled.
 from __future__ import annotations
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
 
 import pytest
 
@@ -18,6 +24,7 @@ from repro.analysis.ingest import PIPELINE_TEXT
 from repro.core.clock import MONTH
 from repro.experiments.campaign import run_campaign
 from repro.experiments.config import CampaignConfig
+from repro.experiments.executors import WorkQueueExecutor
 from repro.experiments.shard import (
     ShardResult,
     ShardTask,
@@ -207,3 +214,280 @@ def test_shard_result_rejects_bad_payloads(config):
         ShardResult.from_dict(broken)
     with pytest.raises((ValueError, KeyError, TypeError)):
         ShardResult.from_dict({"summary": "foreign"})
+
+
+def test_shard_result_wire_format_hardening(config):
+    """Every way a cache entry can rot maps to a ValueError, never to a
+    silently misread shard."""
+    result = ShardTask()(plan_shards(config, 5)[1])
+    pristine = json.loads(json.dumps(result.to_dict()))
+
+    def corrupt(**changes):
+        payload = json.loads(json.dumps(pristine))
+        payload.update(changes)
+        return payload
+
+    assert ShardResult.from_dict(pristine).events_fired == result.events_fired
+
+    with pytest.raises(ValueError, match="not an object"):
+        ShardResult.from_dict(["not", "a", "dict"])
+    # Wrong or missing format version.
+    with pytest.raises(ValueError, match="format version"):
+        ShardResult.from_dict(corrupt(format_version=1))
+    missing_version = json.loads(json.dumps(pristine))
+    del missing_version["format_version"]
+    with pytest.raises(ValueError, match="format version"):
+        ShardResult.from_dict(missing_version)
+    # Truncation: every required key, one at a time.
+    for key in ("phone_range", "config", "accumulator", "ground_truth", "ingest"):
+        truncated = json.loads(json.dumps(pristine))
+        del truncated[key]
+        with pytest.raises(ValueError, match=f"missing.*{key}"):
+            ShardResult.from_dict(truncated)
+    # Malformed or empty phone ranges.
+    for bad in ([3], [1, 2, 3], "0:5", [None, 5], [5, 5], [7, 3], [-1, 4]):
+        with pytest.raises(ValueError, match="phone_range"):
+            ShardResult.from_dict(corrupt(phone_range=bad))
+    # Ground truth shorter than the range (a torn write).
+    with pytest.raises(ValueError, match="truncated"):
+        ShardResult.from_dict(
+            corrupt(ground_truth=pristine["ground_truth"][:-1])
+        )
+    with pytest.raises(ValueError, match="ground-truth"):
+        ShardResult.from_dict(
+            corrupt(
+                ground_truth=[{"boots": 1.0}]
+                * len(pristine["ground_truth"])
+            )
+        )
+    # Event counter must be a non-negative integer.
+    for bad_events in (-1, "many", 1.5, True):
+        with pytest.raises(ValueError, match="events_fired"):
+            ShardResult.from_dict(corrupt(events_fired=bad_events))
+    with pytest.raises(ValueError, match="telemetry"):
+        ShardResult.from_dict(corrupt(telemetry=["x"]))
+    with pytest.raises(ValueError, match="config"):
+        ShardResult.from_dict(corrupt(config="not an object"))
+
+
+def test_merge_rejects_duplicated_phone_range(config):
+    """The same range twice is an overlap, even with identical data."""
+    results = [ShardTask()(c) for c in plan_shards(config, 3)]
+    duplicated = [results[0]] + results
+    with pytest.raises(ValueError, match="shard ranges"):
+        merge_shards(duplicated, config)
+
+
+# -- executor backends ----------------------------------------------------------
+
+
+def test_workqueue_streaming_matches_monolithic(config, monolithic):
+    """The work-stealing backend with spill-to-disk merge is the exact
+    same campaign: streaming merge, memory merge, and the pool backend
+    all emit the monolithic summary bit for bit."""
+    streamed = run_sharded_campaign(
+        config, shards=3, workers=2, executor="workqueue"
+    )
+    assert streamed.executor == "workqueue"
+    assert streamed.merge_mode == "streaming"
+    assert canonical(streamed.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+    in_memory = run_sharded_campaign(
+        config, shards=3, workers=2, executor="workqueue", merge="memory"
+    )
+    assert in_memory.merge_mode == "memory"
+    assert canonical(in_memory.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+    assert streamed.events_fired == in_memory.events_fired > 0
+
+
+def test_streaming_merge_requires_workqueue(config):
+    with pytest.raises(ValueError, match="streaming"):
+        run_sharded_campaign(config, shards=2, merge="streaming")
+    with pytest.raises(ValueError, match="merge mode"):
+        run_sharded_campaign(config, shards=2, merge="telepathy")
+
+
+def test_skewed_plan_with_stealing_matches_monolithic(config, monolithic):
+    """A deliberately long-tailed plan plus an eager splitter produces a
+    finer executed tiling — and the identical summary."""
+    backend = WorkQueueExecutor(2, min_split_phones=2)
+    result = run_sharded_campaign(
+        config,
+        shards=3,
+        executor=backend,
+        weights=[20, 1, 1],
+    )
+    assert result.stats.steals >= 1
+    assert result.shard_count > 3
+    assert canonical(result.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+
+
+def test_plan_shards_weights_tile_exactly(config):
+    configs = plan_shards(config, 4, weights=[8, 1, 1, 2])
+    ranges = [c.fleet.phone_range for c in configs]
+    assert ranges[0][1] - ranges[0][0] > ranges[1][1] - ranges[1][0]
+    expected = 0
+    for start, stop in ranges:
+        assert start == expected and stop > start
+        expected = stop
+    assert expected == config.fleet.phone_count
+    with pytest.raises(ValueError, match="weights"):
+        plan_shards(config, 3, weights=[1, 2])
+    with pytest.raises(ValueError, match="positive"):
+        plan_shards(config, 2, weights=[1, 0])
+
+
+# -- crash resume ---------------------------------------------------------------
+
+
+def test_resume_from_committed_shards(tmp_path, config, monolithic):
+    """Kill a run after some shards committed (simulated by deleting
+    part of the cache): the restart adopts the committed shards, counts
+    them as resumed, recomputes only the gaps, and lands on the same
+    bits."""
+    cache = shard_cache(str(tmp_path))
+    first = run_sharded_campaign(
+        config, shards=5, workers=2, executor="workqueue", cache=cache
+    )
+    assert canonical(first.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+    files = sorted(
+        name for name in os.listdir(tmp_path) if name.endswith(".json")
+    )
+    assert len(files) == 5
+    # Lose two shards — a crash that happened mid-run.
+    for name in files[:2]:
+        os.remove(tmp_path / name)
+    resumed = run_sharded_campaign(
+        config, shards=5, workers=2, executor="workqueue", cache=cache
+    )
+    assert resumed.stats.resumed_shards == 3
+    assert canonical(resumed.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+    # A fully committed cache resumes everything and runs nothing.
+    full = run_sharded_campaign(
+        config, shards=5, workers=2, executor="workqueue", cache=cache
+    )
+    assert full.stats.resumed_shards == 5
+    assert canonical(full.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+
+
+def test_pool_backend_resumes_workqueue_commits(tmp_path, config, monolithic):
+    """Committed shards are backend-agnostic: the pool (or serial)
+    backend adopts what a workqueue run left behind."""
+    cache = shard_cache(str(tmp_path))
+    run_sharded_campaign(
+        config, shards=4, workers=2, executor="workqueue", cache=cache
+    )
+    result = run_sharded_campaign(config, shards=4, cache=shard_cache(str(tmp_path)))
+    assert result.stats.resumed_shards == 4
+    assert canonical(result.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+
+
+def test_corrupt_committed_shard_is_recomputed(tmp_path, config, monolithic):
+    """A torn commit (truncated JSON) is skipped at scan time — its
+    range is recomputed, never trusted."""
+    cache = shard_cache(str(tmp_path))
+    run_sharded_campaign(
+        config, shards=4, workers=2, executor="workqueue", cache=cache
+    )
+    files = sorted(
+        name for name in os.listdir(tmp_path) if name.endswith(".json")
+    )
+    victim = tmp_path / files[1]
+    victim.write_text(victim.read_text()[: 200], encoding="utf-8")
+    resumed = run_sharded_campaign(
+        config, shards=4, workers=2, executor="workqueue",
+        cache=shard_cache(str(tmp_path)),
+    )
+    assert resumed.stats.resumed_shards == 3
+    assert canonical(resumed.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
+
+
+_KILL9_CHILD = textwrap.dedent(
+    """
+    import sys
+
+    from repro.core.clock import MONTH
+    from repro.experiments.config import CampaignConfig
+    from repro.experiments.shard import run_sharded_campaign, shard_cache
+    from repro.phone.fleet import FleetConfig
+
+    fleet = FleetConfig(
+        phone_count=25,
+        duration=MONTH,
+        enroll_fraction_min=0.0,
+        enroll_fraction_max=0.15,
+    )
+    config = CampaignConfig(fleet=fleet, seed=4242)
+    run_sharded_campaign(
+        config,
+        shards=5,
+        workers=2,
+        executor="workqueue",
+        cache=shard_cache(sys.argv[1]),
+    )
+    """
+)
+
+
+def test_kill9_mid_run_then_resume_is_bit_identical(
+    tmp_path, config, monolithic
+):
+    """The headline durability claim: SIGKILL the whole process tree
+    mid-run, restart, and the resumed campaign is bit-identical with at
+    least one shard adopted from the committed cache."""
+    cache_dir = str(tmp_path / "cache")
+    os.makedirs(cache_dir)
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", _KILL9_CHILD, cache_dir],
+        env=env,
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        committed = 0
+        while time.monotonic() < deadline:
+            committed = sum(
+                1 for n in os.listdir(cache_dir) if n.endswith(".json")
+            )
+            if committed >= 2 or child.poll() is not None:
+                break
+            time.sleep(0.005)
+        if child.poll() is None:
+            # kill -9 the whole session: coordinator and workers alike.
+            os.killpg(os.getpgid(child.pid), signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+    survivors = sum(1 for n in os.listdir(cache_dir) if n.endswith(".json"))
+    assert survivors >= 1, "no shard committed before the kill"
+    resumed = run_sharded_campaign(
+        config, shards=5, workers=2, executor="workqueue",
+        cache=shard_cache(cache_dir),
+    )
+    assert resumed.stats.resumed_shards >= 1
+    assert canonical(resumed.summary.to_dict()) == canonical(
+        monolithic.to_dict()
+    )
