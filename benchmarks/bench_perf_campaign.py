@@ -45,8 +45,15 @@ def test_perf_smoke_campaign():
     print(result.render())
 
     out_path = os.environ.get("BENCH_CAMPAIGN_OUT", "BENCH_campaign.json")
+    # Merge-preserving write: other gates (bench_live_overhead) own
+    # sibling sections of the same snapshot file.
+    merged = {}
+    if os.path.exists(out_path):
+        with open(out_path, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    merged.update(result.to_dict())
     with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        json.dump(merged, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
     # The simulation itself must be deterministic regardless of speed:

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the whole study:
+Nine subcommands cover the whole study:
 
 * ``campaign`` — simulate a deployment campaign, print the full report,
   optionally export the raw per-phone log files to a directory;
@@ -26,7 +26,13 @@ Eight subcommands cover the whole study:
 * ``megafleet`` — run one large campaign as K deterministic
   per-phone-range shards with streaming merge: peak memory is bounded
   by the largest shard, and the merged summary is bit-identical to the
-  monolithic run (``--verify`` proves it in-process).
+  monolithic run (``--verify`` proves it in-process).  ``--live``
+  streams worker heartbeats into a durable op-log and prints rolling
+  fleet KPIs without changing a single result bit;
+* ``monitor``  — tail a live (or crashed) campaign's op-log from
+  another terminal: refreshing dashboard of committed progress,
+  rolling MTBF/panic-mix/quarantine KPIs, per-worker throughput, ETA,
+  and a Prometheus text snapshot (``metrics.prom``) on every fold.
 
 Usage::
 
@@ -43,6 +49,10 @@ Usage::
     python -m repro.cli megafleet --phones 10000 --months 2 --shards 16 \\
         --workers 4 --output BENCH_megafleet.json
     python -m repro.cli megafleet --phones 50 --shards 5 --verify
+    python -m repro.cli megafleet --phones 100000 --shards 64 --workers 8 \\
+        --executor workqueue --cache .mega/ --live
+    python -m repro.cli monitor .mega/ --interval 2
+    python -m repro.cli monitor .mega/ --once
 """
 
 from __future__ import annotations
@@ -172,6 +182,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--executor", choices=EXECUTORS, default=None,
         help="execution backend (default: pool when --workers > 1, "
         "else serial)",
+    )
+    sweep.add_argument(
+        "--live", action="store_true",
+        help="print a progress line (to stderr) as each campaign "
+        "completes — cache hits included",
     )
 
     forum = sub.add_parser("forum", help="run the section-4 forum study")
@@ -367,6 +382,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="panic/HL coalescence window in seconds (paper: 300)",
     )
     megafleet.add_argument(
+        "--live", action="store_true",
+        help="stream worker heartbeats into a durable op-log under the "
+        "run directory (--cache or --spill), print rolling fleet KPIs "
+        "to stderr, and write a Prometheus snapshot (metrics.prom) on "
+        "each fold; 'repro monitor <dir>' can watch from another "
+        "terminal.  Results are bit-identical to a non-live run",
+    )
+    megafleet.add_argument(
         "--verify", action="store_true",
         help="also run the campaign monolithically and fail (exit 1) "
         "unless the merged summary is bit-identical",
@@ -379,6 +402,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE", default=None,
         help="also write the run report JSON here "
         "(e.g. BENCH_megafleet.json)",
+    )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="live dashboard for a running (or crashed) mega-fleet "
+        "campaign, folded from its durable op-log",
+    )
+    monitor.add_argument(
+        "run_dir",
+        help="the campaign's run directory (the --cache/--spill dir of "
+        "a 'megafleet --live' run; holds the live/ op-log and the "
+        "committed shards)",
+    )
+    monitor.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between dashboard refreshes (default: 2)",
+    )
+    monitor.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (post-mortem / CI mode)",
+    )
+    monitor.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="stop after N refreshes (default: until the campaign "
+        "finishes, or forever with --follow)",
+    )
+    monitor.add_argument(
+        "--follow", action="store_true",
+        help="keep watching even after every phone is committed "
+        "(a resumed run may append more)",
+    )
+    monitor.add_argument(
+        "--window", type=float, default=60.0,
+        help="rolling window in wall seconds for throughput KPIs "
+        "(default: 60)",
+    )
+    monitor.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    monitor.add_argument(
+        "--no-prom", action="store_false", dest="prom",
+        help="skip writing metrics.prom on each fold",
     )
 
     return parser
@@ -445,8 +511,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache = CampaignCache(args.cache) if args.cache else None
     except OSError as exc:
         raise SystemExit(f"cannot use cache directory {args.cache!r}: {exc}")
+    on_complete = None
+    if args.live:
+        from time import perf_counter
+
+        total = len(configs)
+        state = {"done": 0, "start": perf_counter()}
+
+        def on_complete(index: int, summary) -> None:
+            state["done"] += 1
+            elapsed = perf_counter() - state["start"]
+            rate = state["done"] / elapsed if elapsed > 0 else 0.0
+            eta = (total - state["done"]) / rate if rate > 0 else 0.0
+            print(
+                f"live: seed {summary.seed} done · "
+                f"{state['done']}/{total} campaigns · ETA {eta:.0f}s",
+                file=sys.stderr,
+                flush=True,
+            )
+
     summaries = run_campaigns(
-        configs, workers=args.workers, cache=cache, executor=args.executor
+        configs,
+        workers=args.workers,
+        cache=cache,
+        executor=args.executor,
+        on_complete=on_complete,
     )
 
     rows = []
@@ -519,6 +608,21 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.output}")
+    if args.trace_path:
+        try:
+            with open(args.trace_path, "r", encoding="utf-8") as handle:
+                trace = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(
+                f"cannot validate trace {args.trace_path!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"invalid trace: {problem}", file=sys.stderr)
+            return 1
     if args.check_against:
         try:
             baseline = load_baseline(args.check_against)
@@ -665,6 +769,13 @@ def _cmd_megafleet(args: argparse.Namespace) -> int:
         if args.skew <= 0:
             raise SystemExit(f"--skew must be > 0, got {args.skew:g}")
         weights = [args.skew] + [1.0] * (args.shards - 1)
+    progress = None
+    if args.live:
+        from repro.observability.live import progress_line
+
+        def progress(snapshot) -> None:
+            print(progress_line(snapshot), file=sys.stderr, flush=True)
+
     try:
         start = perf_counter()
         result = run_sharded_campaign(
@@ -678,6 +789,8 @@ def _cmd_megafleet(args: argparse.Namespace) -> int:
             merge=args.merge,
             spill_dir=args.spill,
             weights=weights,
+            live=args.live,
+            progress=progress,
         )
         wall = perf_counter() - start
     except ValueError as exc:
@@ -777,6 +890,59 @@ def _cmd_megafleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import os
+    from time import sleep
+
+    from repro.observability.live import (
+        LiveFolder,
+        live_dir_for,
+        render_dashboard,
+        write_prom_snapshot,
+    )
+
+    if not os.path.isdir(args.run_dir):
+        print(f"no such run directory: {args.run_dir}", file=sys.stderr)
+        return 1
+    if args.interval <= 0:
+        raise SystemExit(f"--interval must be > 0, got {args.interval:g}")
+    folder = LiveFolder(args.run_dir, window=args.window)
+    frames = 1 if args.once else args.frames
+    shown = 0
+    while True:
+        snapshot = folder.fold()
+        empty = (
+            not snapshot.campaign
+            and not snapshot.workers
+            and not snapshot.committed_shards
+        )
+        if empty:
+            print(
+                f"nothing to monitor in {args.run_dir}: no live op-log "
+                f"({live_dir_for(args.run_dir)}) and no committed "
+                f"shards.  Start the campaign with 'repro megafleet "
+                f"--live --cache {args.run_dir}'",
+                file=sys.stderr,
+            )
+            return 1
+        if shown and not args.no_clear:
+            # ANSI clear + home between frames; frame 0 just prints.
+            print("\x1b[2J\x1b[H", end="")
+        print(render_dashboard(snapshot), flush=True)
+        if args.prom:
+            write_prom_snapshot(args.run_dir, snapshot)
+        shown += 1
+        if frames is not None and shown >= frames:
+            return 0
+        finished = (
+            snapshot.total_phones > 0
+            and snapshot.committed_phones >= snapshot.total_phones
+        )
+        if finished and not args.follow:
+            return 0
+        sleep(args.interval)
+
+
 def _cmd_forum(args: argparse.Namespace) -> int:
     config = CorpusConfig(failure_reports=args.reports, noise_level=args.noise)
     result = run_forum_study(config, seed=args.seed)
@@ -805,6 +971,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "megafleet":
         return _cmd_megafleet(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

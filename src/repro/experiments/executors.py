@@ -498,6 +498,8 @@ class WorkQueueExecutor(Executor):
             Callable[[CampaignConfig], Optional[Tuple[CampaignConfig, CampaignConfig]]]
         ] = None,
         size_fn: Optional[Callable[[CampaignConfig], int]] = None,
+        live_dir: Optional[str] = None,
+        progress: Optional[Callable[[Any], None]] = None,
     ) -> List[Tuple[Tuple[int, int], CampaignConfig]]:
         """Run shard tasks to durable completion; returns the tiling.
 
@@ -507,21 +509,36 @@ class WorkQueueExecutor(Executor):
         stealing split a long-tailed shard.  Raises
         :class:`CampaignExecutionError` (with the offending
         ``phone_range``) when a task exhausts its attempts.
+
+        With ``live_dir`` set, the coordinator heartbeats executor
+        state into the op-log and periodically folds the whole log
+        into a rolling :class:`~repro.observability.live.LiveSnapshot`
+        (writing ``metrics.prom`` and invoking ``progress``).
         """
         try:
-            outcome = self._run(
-                list(items),
-                task,
-                commit_dir=commit_dir,
-                tel=tel,
-                retries=retries,
-                timeout=timeout,
-                splitter=splitter if self.steal else None,
-                size_fn=size_fn,
-            )
+            with tel.span(
+                "executor.run",
+                category="executor",
+                track="executor",
+                workers=self.workers,
+                shards=len(items),
+            ):
+                outcome = self._run(
+                    list(items),
+                    task,
+                    commit_dir=commit_dir,
+                    tel=tel,
+                    retries=retries,
+                    timeout=timeout,
+                    splitter=splitter if self.steal else None,
+                    size_fn=size_fn,
+                    live_dir=live_dir,
+                    progress=progress,
+                )
         except _QueueStartupError:
             outcome = self._run_serial(
-                list(items), task, commit_dir, retries
+                list(items), task, commit_dir, retries,
+                live_dir=live_dir, progress=progress,
             )
         self.stats.sample(tel)
         if outcome.failed:
@@ -544,11 +561,20 @@ class WorkQueueExecutor(Executor):
         task: Callable[[CampaignConfig], Any],
         commit_dir: str,
         retries: int,
+        live_dir: Optional[str] = None,
+        progress: Optional[Callable[[Any], None]] = None,
     ) -> _QueueOutcome:
         """In-process fallback with identical commit semantics."""
         cache = CampaignCache(commit_dir)
         outcome = _QueueOutcome()
+        live = None
+        if live_dir is not None:
+            from repro.observability.live import LiveCoordinator
+
+            live = LiveCoordinator(live_dir, stats=self.stats, progress=progress)
         for key, config in items:
+            if live is not None:
+                live.tick(pending=len(items), inflight=1, workers=1)
             attempts = 0
             while True:
                 attempts += 1
@@ -571,6 +597,9 @@ class WorkQueueExecutor(Executor):
                     )
                     outcome.completed[key] = (config, None)
                     break
+        if live is not None:
+            live.tick(force=True)
+            live.close()
         return outcome
 
     # -- the coordinator ------------------------------------------------
@@ -585,6 +614,8 @@ class WorkQueueExecutor(Executor):
         timeout: Optional[float],
         splitter,
         size_fn,
+        live_dir: Optional[str] = None,
+        progress: Optional[Callable[[Any], None]] = None,
     ) -> _QueueOutcome:
         import multiprocessing
         from queue import Empty
@@ -594,6 +625,12 @@ class WorkQueueExecutor(Executor):
         pending: List[Tuple[Any, CampaignConfig]] = list(items)
         if not pending:
             return outcome
+
+        live = None
+        if live_dir is not None:
+            from repro.observability.live import LiveCoordinator
+
+            live = LiveCoordinator(live_dir, stats=self.stats, progress=progress)
 
         worker_count = min(self.workers, len(pending))
         try:
@@ -649,6 +686,13 @@ class WorkQueueExecutor(Executor):
                     key = config.fleet.phone_range
                     pending.append((other.fleet.phone_range, other))
                     self.stats.steals += 1
+                    tel.instant(
+                        "steal split",
+                        category="executor",
+                        track="executor",
+                        key=str(key),
+                        stolen=str(other.fleet.phone_range),
+                    )
             inboxes[wid].put(("task", key, config))
             inflight[wid] = _InFlight(key, config, perf_counter())
 
@@ -657,6 +701,13 @@ class WorkQueueExecutor(Executor):
             flight = inflight.pop(wid)
             outcome.walls.setdefault(flight.key, []).append(
                 perf_counter() - flight.started_at
+            )
+            tel.instant(
+                "task requeue",
+                category="executor",
+                track="executor",
+                key=str(flight.key),
+                reason=reason,
             )
             if reason == "error":
                 error_attempts[flight.key] = error_attempts.get(flight.key, 0) + 1
@@ -685,6 +736,12 @@ class WorkQueueExecutor(Executor):
                 return  # plenty of survivors for the remaining work
             restarts_left -= 1
             self.stats.worker_restarts += 1
+            tel.instant(
+                "worker respawn",
+                category="executor",
+                track="executor",
+                dead=dead_wid,
+            )
             wid = next_wid
             next_wid += 1
             try:
@@ -722,6 +779,12 @@ class WorkQueueExecutor(Executor):
                     break
                 while idle and pending:
                     dispatch(idle.pop())
+                if live is not None:
+                    live.tick(
+                        pending=len(pending),
+                        inflight=len(inflight),
+                        workers=len(processes),
+                    )
                 try:
                     kind, wid, task_id, payload = outbox.get(
                         timeout=self.poll_interval
@@ -808,6 +871,16 @@ class WorkQueueExecutor(Executor):
                 if proc.is_alive():
                     proc.kill()
                     proc.join(timeout=1.0)
+            if live is not None:
+                try:
+                    live.tick(
+                        pending=len(pending),
+                        inflight=len(inflight),
+                        workers=0,
+                        force=True,
+                    )
+                finally:
+                    live.close()
         return outcome
 
 

@@ -309,6 +309,103 @@ def measure_campaign(
     )
 
 
+def measure_live_overhead(
+    config: Optional[CampaignConfig] = None,
+    repeats: int = 3,
+    pipeline: str = PIPELINE_STRUCTURED,
+) -> Dict[str, Any]:
+    """A/B the live op-log flush hook: heartbeats on vs off.
+
+    Runs the same campaign ``repeats`` times in each arm, interleaved
+    with the leading arm alternating per repeat (off/on, then on/off,
+    ...) after one untimed warmup, so machine drift and cache warming
+    hit both arms symmetrically.  The *on* arm installs a
+    process-current :class:`OpLogWriter` whose heartbeats ride the
+    fleet's periodic-transfer callback, exactly as a ``--live`` worker
+    does.  Best-of CPU seconds is the gate metric (immune to scheduler
+    noise); the returned dict is the ``live_overhead`` section of
+    ``BENCH_campaign.json``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.observability.live import OpLogWriter, install_live_writer
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    config = config if config is not None else CampaignConfig.paper_scale()
+    live_dir = tempfile.mkdtemp(prefix="repro-live-bench-")
+    off_wall: List[float] = []
+    off_cpu: List[float] = []
+    on_wall: List[float] = []
+    on_cpu: List[float] = []
+    heartbeats = 0
+
+    def _run_off() -> None:
+        t0, c0 = time.perf_counter(), time.process_time()
+        run_campaign(config, pipeline=pipeline)
+        off_wall.append(time.perf_counter() - t0)
+        off_cpu.append(time.process_time() - c0)
+
+    def _run_on() -> None:
+        nonlocal heartbeats
+        writer = OpLogWriter(live_dir)
+        previous = install_live_writer(writer)
+        try:
+            t0, c0 = time.perf_counter(), time.process_time()
+            run_campaign(config, pipeline=pipeline)
+            on_wall.append(time.perf_counter() - t0)
+            on_cpu.append(time.process_time() - c0)
+        finally:
+            install_live_writer(previous)
+            heartbeats += writer.seq
+            writer.close()
+
+    try:
+        # Untimed warmup: the first run pays import, allocator, and
+        # branch-predictor warming that would otherwise bias whichever
+        # arm happens to go first.
+        run_campaign(config, pipeline=pipeline)
+        for i in range(repeats):
+            first, second = (_run_off, _run_on) if i % 2 == 0 else (
+                _run_on,
+                _run_off,
+            )
+            first()
+            second()
+    finally:
+        shutil.rmtree(live_dir, ignore_errors=True)
+
+    best_off_cpu, best_on_cpu = min(off_cpu), min(on_cpu)
+    best_off_wall, best_on_wall = min(off_wall), min(on_wall)
+    cpu_overhead = (
+        100.0 * (best_on_cpu / best_off_cpu - 1.0) if best_off_cpu > 0 else 0.0
+    )
+    wall_overhead = (
+        100.0 * (best_on_wall / best_off_wall - 1.0)
+        if best_off_wall > 0
+        else 0.0
+    )
+    return {
+        "config": {
+            "phones": config.fleet.phone_count,
+            "months": round(config.fleet.duration / MONTH, 3),
+            "seed": config.seed,
+            "pipeline": pipeline,
+            "repeats": repeats,
+        },
+        "wall_seconds_off": round(best_off_wall, 4),
+        "wall_seconds_on": round(best_on_wall, 4),
+        "cpu_seconds_off": round(best_off_cpu, 4),
+        "cpu_seconds_on": round(best_on_cpu, 4),
+        "all_cpu_seconds_off": [round(t, 4) for t in off_cpu],
+        "all_cpu_seconds_on": [round(t, 4) for t in on_cpu],
+        "heartbeats_per_run": heartbeats // repeats,
+        "cpu_overhead_percent": round(cpu_overhead, 3),
+        "wall_overhead_percent": round(wall_overhead, 3),
+    }
+
+
 def load_baseline(path: str) -> Dict[str, Any]:
     """Read a committed benchmark snapshot (``BENCH_campaign.json``)."""
     with open(path, "r", encoding="utf-8") as handle:

@@ -205,6 +205,7 @@ def run_campaigns(
     retries: int = 0,
     timeout: Optional[float] = None,
     executor: Union[str, Executor, None] = None,
+    on_complete: Optional[Callable[[int, CampaignSummary], None]] = None,
 ) -> List[CampaignSummary]:
     """Run many campaigns, fanned out over ``workers`` processes.
 
@@ -228,13 +229,20 @@ def run_campaigns(
         executor: backend name (``"pool"``, ``"workqueue"``,
             ``"serial"``) or an :class:`Executor` instance; ``None``
             means ``"pool"``, the historical behaviour.
+        on_complete: observer called once per campaign as
+            ``on_complete(index, summary)`` the moment its result is
+            available — cache hits included — in completion order.
+            Powers live sweep progress; a raising observer is a bug in
+            the caller, not the sweep.
 
     Raises:
         CampaignExecutionError: when any run fails after its retries;
             ``.seed``, ``.index``, ``.attempts``, ``.phone_range``, and
             ``.traceback`` identify and explain the failing config.
     """
-    manifest = _execute(configs, workers, cache, task, retries, timeout, executor)
+    manifest = _execute(
+        configs, workers, cache, task, retries, timeout, executor, on_complete
+    )
     if manifest.failures:
         first = manifest.failures[0]
         raise CampaignExecutionError(
@@ -256,6 +264,7 @@ def run_campaigns_resilient(
     retries: int = 1,
     timeout: Optional[float] = None,
     executor: Union[str, Executor, None] = None,
+    on_complete: Optional[Callable[[int, CampaignSummary], None]] = None,
 ) -> SweepManifest:
     """Like :func:`run_campaigns`, but never aborts the sweep.
 
@@ -264,7 +273,9 @@ def run_campaigns_resilient(
     summaries that did complete.  A sweep hit by transient faults
     degrades to partial results with a diagnosis, not an exception.
     """
-    return _execute(configs, workers, cache, task, retries, timeout, executor)
+    return _execute(
+        configs, workers, cache, task, retries, timeout, executor, on_complete
+    )
 
 
 # -- execution engine -----------------------------------------------------------
@@ -317,6 +328,7 @@ def _execute(
     retries: int,
     timeout: Optional[float],
     executor: Union[str, Executor, None] = None,
+    on_complete: Optional[Callable[[int, CampaignSummary], None]] = None,
 ) -> SweepManifest:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -327,10 +339,18 @@ def _execute(
     results: List[Optional[CampaignSummary]] = [None] * len(configs)
 
     pending: List[int] = []
+    notified: set = set()
+
+    def notify(index: int, summary: CampaignSummary) -> None:
+        if on_complete is not None and index not in notified:
+            notified.add(index)
+            on_complete(index, summary)
+
     for index, config in enumerate(configs):
         hit = cache.get(config) if cache is not None else None
         if hit is not None:
             results[index] = hit
+            notify(index, hit)
         else:
             pending.append(index)
 
@@ -341,6 +361,7 @@ def _execute(
         if cache is not None and index not in committed:
             cache.put(configs[index], summary)
             committed.add(index)
+        notify(index, summary)
 
     failed: Dict[int, FailureInfo] = {}
     attempts: Dict[int, int] = {}

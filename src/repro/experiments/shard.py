@@ -49,6 +49,7 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterable,
     Iterator,
@@ -94,7 +95,10 @@ from repro.phone.fleet import (
 
 #: Version stamp of the shard-result wire format (cache entries).
 #: v2 added ``events_fired`` and hardened the loader.
-SHARD_FORMAT_VERSION = 2
+#: v3 added the live op-log linkage (``stream``/``delta_seq``) so a
+#: committed shard's heartbeat deltas fold exactly once across kill-9
+#: resume (see :mod:`repro.observability.live`).
+SHARD_FORMAT_VERSION = 3
 
 #: Merge modes for :func:`run_sharded_campaign`.
 MERGE_AUTO = "auto"
@@ -217,6 +221,15 @@ class ShardResult:
     telemetry: Dict[str, Any] = field(default_factory=dict)
     #: Simulator events the shard fired (aggregate throughput input).
     events_fired: int = 0
+    #: Live op-log stream id of the attempt that produced this result
+    #: ("" when live telemetry was off).  Carried on the wire so a live
+    #: fold can subsume the stream's cumulative heartbeat deltas by
+    #: this durable snapshot — exactly once, even when a kill -9 resume
+    #: leaves multiple attempts' streams in the op-log.
+    stream: str = ""
+    #: Final heartbeat seq flushed before commit (deltas with seq <=
+    #: this are subsumed by the committed telemetry snapshot).
+    delta_seq: int = 0
     format_version: int = SHARD_FORMAT_VERSION
 
     @property
@@ -234,6 +247,8 @@ class ShardResult:
             "ingest": self.ingest.to_dict(),
             "telemetry": self.telemetry,
             "events_fired": self.events_fired,
+            "stream": self.stream,
+            "delta_seq": self.delta_seq,
         }
 
     @classmethod
@@ -304,6 +319,16 @@ class ShardResult:
         telemetry = data.get("telemetry", {})
         if not isinstance(telemetry, dict):
             raise ValueError("shard telemetry is not an object")
+        stream = data.get("stream", "")
+        if not isinstance(stream, str):
+            raise ValueError(f"malformed stream id {stream!r}")
+        delta_seq = data.get("delta_seq", 0)
+        if (
+            not isinstance(delta_seq, int)
+            or isinstance(delta_seq, bool)
+            or delta_seq < 0
+        ):
+            raise ValueError(f"malformed delta_seq {delta_seq!r}")
         try:
             ingest = IngestReport.from_dict(data["ingest"])
         except Exception as exc:
@@ -316,6 +341,8 @@ class ShardResult:
             ingest=ingest,
             telemetry=dict(telemetry),
             events_fired=events,
+            stream=stream,
+            delta_seq=delta_seq,
         )
 
 
@@ -338,6 +365,7 @@ class ShardTask:
         pipeline: str = PIPELINE_STRUCTURED,
         telemetry_level: Optional[str] = None,
         plan: Optional[object] = None,
+        live_dir: Optional[str] = None,
     ) -> None:
         self.pipeline = pipeline
         self.telemetry_level = telemetry_level
@@ -346,6 +374,11 @@ class ShardTask:
         #: derived per phone from the plan's own seed, so a sharded
         #: faulty campaign reproduces the monolithic one's faults.
         self.plan = plan
+        #: When set, the worker heartbeats this shard's progress into
+        #: the live op-log directory (one append-only file per worker
+        #: process; see :mod:`repro.observability.live`).  A pure
+        #: observer — the result is bit-identical either way.
+        self.live_dir = live_dir
 
     def __call__(self, config: CampaignConfig) -> ShardResult:
         tel = Telemetry(
@@ -361,6 +394,45 @@ class ShardTask:
             from repro.robustness.injectors import FaultyLink
 
             collector = CollectionServer(link=FaultyLink(self.plan))
+        writer = None
+        previous_writer = None
+        if self.live_dir is not None:
+            from repro.observability.live import (
+                install_live_writer,
+                worker_writer,
+            )
+
+            writer = worker_writer(self.live_dir)
+            writer.begin_stream(
+                config.fleet.resolved_range(),
+                config.fleet.duration,
+                registry=tel.registry if tel.metrics else None,
+            )
+            previous_writer = install_live_writer(writer)
+        try:
+            result = self._run(config, tel, collector)
+        finally:
+            if writer is not None:
+                from repro.observability.live import install_live_writer
+
+                install_live_writer(previous_writer)
+        if writer is not None:
+            result.stream = writer.stream_id or ""
+            writer.end_stream(
+                phone_range=list(result.phone_range),
+                sim_now=config.fleet.duration,
+                duration=config.fleet.duration,
+                events_fired=result.events_fired,
+            )
+            result.delta_seq = writer.seq
+        return result
+
+    def _run(
+        self,
+        config: CampaignConfig,
+        tel: Telemetry,
+        collector: Optional[object],
+    ) -> ShardResult:
         with tel.installed():
             fleet = Fleet(config.fleet, seed=config.seed, collector=collector)
             with tel.span(
@@ -702,6 +774,31 @@ class MegafleetResult:
         }
 
 
+def _announce_campaign(
+    live_dir: str,
+    config: CampaignConfig,
+    shards: int,
+    workers: int,
+    executor_name: str,
+) -> None:
+    """Write the campaign-identity record the monitor keys off."""
+    from repro.observability.live import OpLogWriter
+
+    writer = OpLogWriter(live_dir, role="campaign")
+    try:
+        writer.campaign(
+            phones=config.fleet.phone_count,
+            shards=shards,
+            workers=workers,
+            seed=config.seed,
+            executor=executor_name,
+            duration=config.fleet.duration,
+            config=config.to_dict(),
+        )
+    finally:
+        writer.close()
+
+
 def run_sharded_campaign(
     config: CampaignConfig,
     shards: int,
@@ -716,6 +813,8 @@ def run_sharded_campaign(
     merge: str = MERGE_AUTO,
     spill_dir: Optional[str] = None,
     weights: Optional[Sequence[float]] = None,
+    live: bool = False,
+    progress: Optional[Callable[[object], None]] = None,
 ) -> MegafleetResult:
     """Run one logical campaign as ``shards`` independent slices.
 
@@ -743,6 +842,15 @@ def run_sharded_campaign(
     backend and memory otherwise.  Either way the merged summary is
     bit-identical to the monolithic run (telemetry counters aside; see
     module docs).
+
+    ``live=True`` turns on the live telemetry plane: workers heartbeat
+    into a durable op-log under ``<run-dir>/live/``, the workqueue
+    coordinator folds it into rolling KPIs (invoking ``progress`` with
+    each :class:`~repro.observability.live.LiveSnapshot` and writing a
+    ``metrics.prom`` exposition snapshot), and ``repro monitor`` can
+    watch the run — or its corpse — from another terminal.  Live mode
+    observes intrinsic state only; the merged result is bit-identical
+    to a non-live run.
     """
     if merge not in MERGE_MODES:
         raise ValueError(f"unknown merge mode {merge!r}; expected {MERGE_MODES}")
@@ -786,8 +894,28 @@ def run_sharded_campaign(
     else:
         task_configs = plan_configs
 
+    live_root: Optional[str] = None
+    live_dir: Optional[str] = None
+    if live:
+        from repro.observability.live import live_dir_for
+
+        if cache is not None:
+            live_root = cache.directory
+        elif spill_dir is not None:
+            live_root = spill_dir
+        elif not queue_backend:
+            raise ValueError(
+                "live mode needs a durable run directory: pass a cache "
+                "(or spill_dir), or use the 'workqueue' executor"
+            )
+        if live_root is not None:
+            live_dir = live_dir_for(live_root)
+
     task = ShardTask(
-        pipeline=pipeline, telemetry_level=telemetry_level, plan=plan
+        pipeline=pipeline,
+        telemetry_level=telemetry_level,
+        plan=plan,
+        live_dir=live_dir,
     )
 
     if queue_backend:
@@ -798,6 +926,14 @@ def run_sharded_campaign(
             commit_dir = spill_dir
         else:
             commit_dir = temp_dir = tempfile.mkdtemp(prefix="repro-shards-")
+        if live and live_dir is None:
+            from repro.observability.live import live_dir_for
+
+            live_root = commit_dir
+            live_dir = live_dir_for(commit_dir)
+            task.live_dir = live_dir
+        if live_dir is not None:
+            _announce_campaign(live_dir, config, shards, workers, backend.name)
         try:
             completed: List[Tuple[Tuple[int, int], CampaignConfig]] = []
             if task_configs:
@@ -815,6 +951,8 @@ def run_sharded_campaign(
                     timeout=timeout,
                     splitter=split_shard_config,
                     size_fn=shard_config_size,
+                    live_dir=live_dir,
+                    progress=progress,
                 )
             commit_cache = CampaignCache(commit_dir)
             shard_files = committed + [
@@ -833,6 +971,8 @@ def run_sharded_campaign(
             if temp_dir is not None:
                 shutil.rmtree(temp_dir, ignore_errors=True)
     else:
+        if live_dir is not None:
+            _announce_campaign(live_dir, config, shards, workers, backend.name)
         manifest = run_campaigns_resilient(
             task_configs,
             workers=workers,
@@ -861,6 +1001,16 @@ def run_sharded_campaign(
         )
 
     backend.stats.sample(tel)
+    if live and live_root is not None:
+        # One final authoritative fold so metrics.prom and the op-log
+        # view agree with the completed run even for non-workqueue
+        # backends (which have no folding coordinator loop).
+        from repro.observability.live import LiveFolder, write_prom_snapshot
+
+        snapshot = LiveFolder(live_root).fold()
+        write_prom_snapshot(live_root, snapshot)
+        if progress is not None:
+            progress(snapshot)
     return MegafleetResult(
         summary=merged.summary,
         shard_ranges=merged.shard_ranges,

@@ -9,6 +9,12 @@ time and wall time, and exporters: a JSON snapshot embedded in
 ``trace_event`` JSON for ``chrome://tracing``/Perfetto (the ``repro
 trace`` subcommand), and a plain-text hotspot table.
 
+The *live* plane (:mod:`repro.observability.live`) extends this to
+running campaigns: workers stream heartbeats and delta telemetry
+snapshots into a durable op-log, a fold turns them into rolling fleet
+KPIs, and :mod:`repro.observability.prom` renders Prometheus
+text-format snapshots for scraping.
+
 Capture is off by default and costs one branch per instrumented site
 when disabled; see :mod:`repro.observability.telemetry` for the levels
 and the installation protocol.
@@ -20,6 +26,16 @@ from repro.observability.export import (
     render_hotspots,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.observability.live import (
+    LiveCoordinator,
+    LiveFolder,
+    LiveSnapshot,
+    OpLogReader,
+    OpLogWriter,
+    live_dir_for,
+    render_dashboard,
+    write_prom_snapshot,
 )
 from repro.observability.metrics import (
     Counter,
@@ -37,9 +53,20 @@ from repro.observability.telemetry import (
     current_telemetry,
     install_telemetry,
 )
+from repro.observability.prom import prometheus_text, write_prometheus
 from repro.observability.tracer import Span, SpanTracer
 
 __all__ = [
+    "LiveCoordinator",
+    "LiveFolder",
+    "LiveSnapshot",
+    "OpLogReader",
+    "OpLogWriter",
+    "live_dir_for",
+    "render_dashboard",
+    "write_prom_snapshot",
+    "prometheus_text",
+    "write_prometheus",
     "Counter",
     "Gauge",
     "Histogram",

@@ -10,6 +10,13 @@ process groups** from the same span forest:
 * pid 2, *sim time*  — where in the campaign's 14 virtual months each
   span and fault landed (the campaign story).
 
+Executor-level events (category ``"executor"``: the coordinator's run
+span plus steal/requeue/respawn/watchdog instants) get their own
+process group, pid 3 — the coordinator has no sim clock, so they are
+rendered on the wall timeline only.  The pid-3 group (and its
+metadata) appears only when such events exist, so monolithic traces
+keep exactly the two classic process groups.
+
 Timestamps are microseconds, as the format requires: wall spans are
 rebased to the earliest wall stamp, sim spans use the virtual clock
 directly.  :func:`validate_chrome_trace` is the schema check CI runs
@@ -34,6 +41,10 @@ __all__ = [
 
 PID_WALL = 1
 PID_SIM = 2
+PID_EXEC = 3
+
+#: Span/instant category routed to the executor process group.
+EXECUTOR_CATEGORY = "executor"
 
 #: Phases emitted (and accepted by the validator).
 _KNOWN_PHASES = ("X", "i", "M")
@@ -101,9 +112,40 @@ def chrome_trace(
     spans = tracer.finished
     wall_zero = min((span.wall_start for span in spans), default=0.0)
     tracks = _TrackTable()
+    exec_tracks = _TrackTable()
     for span in spans:
-        tid = tracks.tid(span.track)
         args = _span_args(span)
+        if span.category == EXECUTOR_CATEGORY:
+            # Coordinator-side event: no sim clock, wall timeline only.
+            tid = exec_tracks.tid(span.track)
+            if span.instant:
+                events.append(
+                    {
+                        "ph": "i",
+                        "pid": PID_EXEC,
+                        "tid": tid,
+                        "ts": (span.wall_start - wall_zero) * 1e6,
+                        "name": span.name,
+                        "cat": span.category,
+                        "s": "t",
+                        "args": args,
+                    }
+                )
+            else:
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": PID_EXEC,
+                        "tid": tid,
+                        "ts": (span.wall_start - wall_zero) * 1e6,
+                        "dur": max(span.wall_duration, 0.0) * 1e6,
+                        "name": span.name,
+                        "cat": span.category,
+                        "args": args,
+                    }
+                )
+            continue
+        tid = tracks.tid(span.track)
         if span.instant:
             events.append(
                 {
@@ -141,6 +183,17 @@ def chrome_trace(
         )
     events.extend(tracks.metadata(PID_WALL))
     events.extend(tracks.metadata(PID_SIM))
+    if exec_tracks._tids:
+        events.append(
+            {
+                "ph": "M",
+                "pid": PID_EXEC,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "executor (workqueue coordinator)"},
+            }
+        )
+        events.extend(exec_tracks.metadata(PID_EXEC))
     other: Dict[str, Any] = {"spans": len(spans)}
     if tracer.dropped_spans:
         other["dropped_spans"] = tracer.dropped_spans

@@ -1,0 +1,159 @@
+"""Prometheus text-format exposition for the live telemetry plane.
+
+Renders a :class:`~repro.observability.metrics.MetricsRegistry` (plus
+any extra scalar gauges, e.g. the live KPI fold) in the Prometheus
+text exposition format, and writes snapshots atomically — tmp +
+``os.replace``, the same discipline as the shard cache — so a scraper
+or a ``repro monitor`` reader never sees a half-written file.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["prometheus_text", "write_prometheus"]
+
+def _sanitize_name(name: str) -> str:
+    safe = "".join(
+        char if (char.isalnum() and char.isascii()) or char in "_:" else "_"
+        for char in name
+    )
+    if not safe or safe[0].isdigit():
+        safe = "_" + safe
+    return safe
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_labels(labels: Dict[str, Any], extra: str = "") -> str:
+    parts = [
+        f'{_sanitize_name(str(key))}="{_escape_label(value)}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(
+    registry: Optional[Union[MetricsRegistry, Dict[str, Any]]] = None,
+    extra_gauges: Optional[Dict[str, float]] = None,
+    prefix: str = "repro_",
+) -> str:
+    """Render ``registry`` (+ flat ``extra_gauges``) as exposition text.
+
+    Counter names gain a ``_total`` suffix unless they already carry
+    one; histograms expose the conventional ``_bucket``/``_sum``/
+    ``_count`` series with cumulative ``le`` labels.
+    """
+    if isinstance(registry, MetricsRegistry):
+        data = registry.to_dict()
+    else:
+        data = dict(registry or {})
+    lines = []
+    for name in sorted(data):
+        metric = data[name]
+        if not isinstance(metric, dict):
+            continue
+        kind = metric.get("kind")
+        series = metric.get("series", [])
+        help_text = metric.get("help", "")
+        base = prefix + _sanitize_name(name)
+        if kind == "counter":
+            out_name = base if base.endswith("_total") else base + "_total"
+            _header(lines, out_name, "counter", help_text)
+            for entry in series:
+                labels = _format_labels(entry.get("labels", {}))
+                lines.append(
+                    f"{out_name}{labels} "
+                    f"{_format_value(float(entry.get('value', 0.0)))}"
+                )
+        elif kind == "gauge":
+            _header(lines, base, "gauge", help_text)
+            for entry in series:
+                labels = _format_labels(entry.get("labels", {}))
+                lines.append(
+                    f"{base}{labels} "
+                    f"{_format_value(float(entry.get('value', 0.0)))}"
+                )
+        elif kind == "histogram":
+            _header(lines, base, "histogram", help_text)
+            bounds = list(metric.get("bounds", []))
+            for entry in series:
+                raw_labels = entry.get("labels", {})
+                buckets = list(entry.get("buckets", []))
+                cumulative = 0.0
+                for bound, count in zip(bounds, buckets):
+                    cumulative += float(count)
+                    labels = _format_labels(
+                        raw_labels, extra=f'le="{_format_value(float(bound))}"'
+                    )
+                    lines.append(
+                        f"{base}_bucket{labels} {_format_value(cumulative)}"
+                    )
+                labels = _format_labels(raw_labels, extra='le="+Inf"')
+                count = float(entry.get("count", 0))
+                lines.append(f"{base}_bucket{labels} {_format_value(count)}")
+                plain = _format_labels(raw_labels)
+                lines.append(
+                    f"{base}_sum{plain} "
+                    f"{_format_value(float(entry.get('total', 0.0)))}"
+                )
+                lines.append(f"{base}_count{plain} {_format_value(count)}")
+    for name in sorted(extra_gauges or {}):
+        out_name = prefix + _sanitize_name(name)
+        _header(lines, out_name, "gauge", "")
+        lines.append(f"{out_name} {_format_value(float(extra_gauges[name]))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _header(lines: list, name: str, kind: str, help_text: str) -> None:
+    if help_text:
+        lines.append(f"# HELP {name} {_escape_label(help_text)}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def write_prometheus(
+    path: str,
+    registry: Optional[Union[MetricsRegistry, Dict[str, Any]]] = None,
+    extra_gauges: Optional[Dict[str, float]] = None,
+    prefix: str = "repro_",
+) -> str:
+    """Atomically write an exposition snapshot; returns the text."""
+    text = prometheus_text(registry, extra_gauges, prefix)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path), suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return text

@@ -18,6 +18,7 @@ from repro.core.rand import RandomStreams
 from repro.logger.daemon import LoggerConfig
 from repro.logger.dexc import DExcLogger, attach_dexc
 from repro.logger.transfer import CollectionServer
+from repro.observability.live import current_live_writer
 from repro.observability.telemetry import current_telemetry
 from repro.phone.device import SmartPhone
 from repro.phone.faults import FaultModel, FaultModelConfig
@@ -122,6 +123,12 @@ class Fleet:
         #: Injectable so robustness experiments can route collection
         #: through a faulty transfer link; defaults to a perfect one.
         self.collector = collector if collector is not None else CollectionServer()
+        #: Optional live op-log writer (the process-current one at
+        #: construction time).  A pure observer: it samples intrinsic
+        #: state from the periodic-transfer callback — no extra sim
+        #: events, no random draws, no registry writes — so results
+        #: with and without it are bit-identical.
+        self._live = current_live_writer()
         self.streams = RandomStreams(seed)
         self.phones: List[PhoneInstance] = []
         self._built = False
@@ -198,6 +205,8 @@ class Fleet:
 
     def _periodic_transfer(self) -> None:
         self.sync_all()
+        if self._live is not None:
+            self._live.heartbeat_from_fleet(self)
         next_time = self.sim.now + self.config.transfer_interval
         if next_time < self.config.duration:
             self.sim.schedule_at(next_time, self._periodic_transfer)
